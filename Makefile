@@ -1,0 +1,47 @@
+# Development targets for the skewjoin reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# 60 seconds of differential fuzzing against the oracle.
+fuzz:
+	$(GO) test -fuzz=FuzzJoinMatchesOracle -fuzztime=60s .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (plus extensions).
+experiments:
+	$(GO) run ./cmd/skewbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/graphjoin
+	$(GO) run ./examples/skewsweep
+	$(GO) run ./examples/devicetuning
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/planner
+
+# The artifacts recorded in EXPERIMENTS.md.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f r.skjr s.skjr

@@ -1,0 +1,155 @@
+// Command skewbench regenerates the paper's evaluation — Figure 1,
+// Figures 4a/4b, Table I, the scale-up experiment and the headline speedup
+// summary — plus this repository's extension experiments: the §III skew
+// analysis, one-sided S skew (sskew), sort-vs-hash (sortvshash) and
+// per-join memory footprints (memory).
+//
+// Usage:
+//
+//	skewbench [-exp fig1|fig4a|fig4b|table1|speedup|large|
+//	                analysis|sskew|sortvshash|memory|all]
+//	          [-n tuples] [-threads k] [-seed s] [-zipf list] [-shm KiB]
+//	          [-json] [-plot]
+//
+// GPU times (marked '*') are modelled by the device simulator; CPU times
+// are wall-clock. Every run is verified against the join oracle; any
+// mismatch is printed and exits non-zero. With -json the reports are
+// emitted as a single JSON object keyed by experiment name; with -plot the
+// figure reports are also rendered as log-scale ASCII charts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"skewjoin/internal/bench"
+)
+
+// printer is implemented by every report type.
+type printer interface {
+	Fprint(w io.Writer)
+}
+
+// plotter is implemented by figure-style reports.
+type plotter interface {
+	Plot(w io.Writer)
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, or all")
+		tuples  = flag.Int("n", 0, "tuples per input table (default $SKEWJOIN_TUPLES or 262144)")
+		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		zipfStr = flag.String("zipf", "", "comma-separated zipf factors (default 0.0..1.0 step 0.1)")
+		shmKB   = flag.Int("shm", 0, "simulated GPU shared memory per block, KiB (default 64 = A100-like); shrink to match the paper's skew-to-capacity ratio at small table sizes")
+		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
+		plot    = flag.Bool("plot", false, "also render figure reports as log-scale ASCII charts")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Tuples: *tuples, Threads: *threads, Seed: *seed}
+	if *shmKB > 0 {
+		cfg.Device.SharedMemBytes = *shmKB << 10
+	}
+	if *zipfStr != "" {
+		zs, err := parseZipfs(*zipfStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skewbench:", err)
+			os.Exit(2)
+		}
+		cfg.Zipfs = zs
+		cfg.TableZipfs = zs
+	}
+
+	names := []string{"fig1", "fig4a", "fig4b", "table1", "speedup", "large", "analysis", "sskew", "sortvshash", "memory"}
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+
+	failed := false
+	jsonOut := map[string]any{}
+	for _, name := range names {
+		rep, errs, err := run(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skewbench:", err)
+			os.Exit(1)
+		}
+		failed = failed || errs
+		if *asJSON {
+			jsonOut[name] = rep
+		} else {
+			rep.Fprint(os.Stdout)
+			if p, ok := rep.(plotter); ok && *plot {
+				p.Plot(os.Stdout)
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "skewbench:", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes one experiment, returning its report and whether any
+// verification errors occurred.
+func run(name string, cfg bench.Config) (printer, bool, error) {
+	switch name {
+	case "fig1":
+		rep, err := bench.Fig1(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "fig4a":
+		rep, err := bench.Fig4a(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "fig4b":
+		rep, err := bench.Fig4b(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "table1":
+		rep, err := bench.Table1(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "speedup":
+		rep, err := bench.Speedup(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "large":
+		rep, err := bench.Large(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "analysis":
+		rep, err := bench.Analysis(cfg)
+		return rep, false, err
+	case "sskew":
+		rep, err := bench.SSkew(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "sortvshash":
+		rep, err := bench.SortVsHash(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "memory":
+		rep, err := bench.Memory(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	default:
+		return nil, false, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func parseZipfs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		z, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad zipf factor %q", part)
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}

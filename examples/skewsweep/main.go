@@ -1,0 +1,69 @@
+// Skew sweep: a miniature of the paper's Figure 4 — the paper's five
+// algorithms plus the sort-merge extensions across the zipf range, with
+// the per-class winners marked.
+//
+//	go run ./examples/skewsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"skewjoin"
+)
+
+func main() {
+	const n = 100_000
+	algs := skewjoin.ExtendedAlgorithms()
+
+	fmt.Printf("%-6s", "zipf")
+	for _, a := range algs {
+		fmt.Printf("%14s", a)
+	}
+	fmt.Println()
+
+	for _, z := range []float64{0.0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		r, s, err := skewjoin.GenerateZipfPair(n, z, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := skewjoin.Expected(r, s)
+
+		fmt.Printf("%-6.1f", z)
+		var bestCPU, bestGPU time.Duration
+		results := make([]skewjoin.Result, len(algs))
+		for i, a := range algs {
+			res, err := skewjoin.Join(a, r, s, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Summary() != want {
+				log.Fatalf("%s @ zipf %.1f: wrong result", a, z)
+			}
+			results[i] = res
+			if res.Modelled {
+				if bestGPU == 0 || res.Total < bestGPU {
+					bestGPU = res.Total
+				}
+			} else {
+				if bestCPU == 0 || res.Total < bestCPU {
+					bestCPU = res.Total
+				}
+			}
+		}
+		for _, res := range results {
+			mark := " "
+			if (res.Modelled && res.Total == bestGPU) || (!res.Modelled && res.Total == bestCPU) {
+				mark = "<" // fastest in its class (CPU wall-clock vs modelled GPU)
+			}
+			fmt.Printf("%13v%s", res.Total.Round(10*time.Microsecond), mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n'<' marks the fastest CPU algorithm and the fastest (modelled) GPU")
+	fmt.Println("algorithm per row. The baselines collapse as the zipf factor grows;")
+	fmt.Println("the skew-conscious joins and the sort-merge extensions — all of")
+	fmt.Println("which generate skewed output with sequential accesses instead of")
+	fmt.Println("chain walks — stay flat far longer. GPU times are modelled.")
+}

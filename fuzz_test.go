@@ -1,0 +1,89 @@
+package skewjoin
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeRelations derives two small relations from fuzz input: the first
+// byte splits the data into R and S halves, then every 2 bytes become one
+// tuple (key from a reduced domain so collisions and duplicates are
+// common, payload from the tuple index).
+func decodeRelations(data []byte) (Relation, Relation) {
+	if len(data) < 2 {
+		return Relation{}, Relation{}
+	}
+	split := int(data[0])%(len(data)-1) + 1
+	mk := func(b []byte, payloadBase int) Relation {
+		n := len(b) / 2
+		r := Relation{Tuples: make([]Tuple, n)}
+		for i := 0; i < n; i++ {
+			k := binary.LittleEndian.Uint16(b[2*i:])
+			r.Tuples[i] = Tuple{
+				Key:     Key(k % 257), // small domain: force duplicates
+				Payload: Payload(payloadBase + i),
+			}
+		}
+		return r
+	}
+	return mk(data[1:split+1], 0), mk(data[split+1:], 1000)
+}
+
+// FuzzJoinMatchesOracle is a differential fuzzer: every algorithm must
+// produce the oracle's exact output count and checksum on arbitrary
+// inputs. The seed corpus covers empty sides, single tuples, all-same-key
+// and mixed data; `go test` runs the corpus, `go test -fuzz=Fuzz .`
+// explores further.
+func FuzzJoinMatchesOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 0})                // shared zero keys
+	f.Add([]byte{2, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0})    // one hot key
+	f.Add([]byte{8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}) // mixed
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return // keep each case fast
+		}
+		r, s := decodeRelations(data)
+		want := Expected(r, s)
+		for _, alg := range Algorithms() {
+			opts := &Options{
+				Threads: 2,
+				// Small structures so tiny inputs still exercise multiple
+				// partitions, sampling and skew paths.
+				Bits1: 3, Bits2: 2,
+				SampleRate: 0.5, OutBufCap: 8,
+				Device: DeviceConfig{NumSMs: 4, SharedMemBytes: 1 << 10},
+			}
+			res, err := Join(alg, r, s, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if res.Summary() != want {
+				t.Fatalf("%s: got %+v, want %+v (|R|=%d |S|=%d)",
+					alg, res.Summary(), want, r.Len(), s.Len())
+			}
+		}
+	})
+}
+
+// FuzzZipfGenerator checks generator invariants on arbitrary parameters.
+func FuzzZipfGenerator(f *testing.F) {
+	f.Add(uint16(10), uint8(5), int64(1))
+	f.Add(uint16(1), uint8(0), int64(0))
+	f.Fuzz(func(t *testing.T, universeRaw uint16, thetaRaw uint8, seed int64) {
+		universe := int(universeRaw%3000) + 1
+		theta := float64(thetaRaw%20) / 10
+		r, err := GenerateZipf(universe, theta, seed, 1)
+		if err != nil {
+			t.Fatalf("GenerateZipf(%d, %g): %v", universe, theta, err)
+		}
+		if r.Len() != universe {
+			t.Fatalf("len = %d, want %d", r.Len(), universe)
+		}
+		st := Stats(r)
+		if st.DistinctKeys < 1 || st.DistinctKeys > universe {
+			t.Fatalf("distinct keys %d out of range", st.DistinctKeys)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module skewjoin
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package asciiplot renders experiment series as log-scale line charts in
+// plain text, so the shapes of the paper's figures — flat partition lines,
+// exploding join curves, crossovers — are visible directly in a terminal.
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	Ys   []float64 // one value per x position; <= 0 values are skipped
+}
+
+// markers distinguish series; the legend maps them back to names.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series over the given x positions on a log-scale y
+// axis, `height` rows tall (minimum 4; 0 = default 14).
+func Render(w io.Writer, title string, xs []float64, series []Series, height int) {
+	if height <= 0 {
+		height = 14
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if y <= 0 {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintf(w, "%s\n  (no positive data)\n", title)
+		return
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+
+	const colWidth = 6
+	width := len(xs) * colWidth
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(y float64) int {
+		frac := (math.Log10(y) - logLo) / (logHi - logLo)
+		r := int(math.Round(float64(height-1) * frac))
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for xi, y := range s.Ys {
+			if y <= 0 || xi >= len(xs) {
+				continue
+			}
+			grid[row(y)][xi*colWidth+colWidth/2] = m
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	for r := 0; r < height; r++ {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%9.3g ", math.Pow(10, (logLo+logHi)/2))
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	var xl strings.Builder
+	xl.WriteString(strings.Repeat(" ", 11))
+	for _, x := range xs {
+		xl.WriteString(fmt.Sprintf("%-*s", colWidth, fmt.Sprintf("%.1f", x)))
+	}
+	fmt.Fprintln(w, xl.String())
+	for si, s := range series {
+		fmt.Fprintf(w, "    %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,69 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, "test chart", []float64{0, 0.5, 1.0}, []Series{
+		{Name: "flat", Ys: []float64{10, 10, 10}},
+		{Name: "rising", Ys: []float64{1, 100, 10000}},
+	}, 10)
+	out := sb.String()
+	for _, want := range []string{"test chart", "flat", "rising", "*", "o", "0.0", "1.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Errorf("only %d lines rendered", len(lines))
+	}
+}
+
+func TestRenderShapePlacement(t *testing.T) {
+	// A rising series must place its last marker above (earlier row than)
+	// its first.
+	var sb strings.Builder
+	Render(&sb, "t", []float64{0, 1}, []Series{
+		{Name: "up", Ys: []float64{1, 1000}},
+	}, 12)
+	lines := strings.Split(sb.String(), "\n")
+	// Markers sit at label(10) + '|' + column*6 + 3: x=0 → 14, x=1 → 20.
+	highValueRow, lowValueRow := -1, -1
+	for i, l := range lines {
+		if !strings.Contains(l, "|") {
+			continue
+		}
+		if idx := strings.IndexByte(l, '*'); idx >= 18 {
+			highValueRow = i // second x column: the large value
+		} else if idx >= 0 {
+			lowValueRow = i // first x column: the small value
+		}
+	}
+	if highValueRow == -1 || lowValueRow == -1 {
+		t.Fatalf("markers not found:\n%s", sb.String())
+	}
+	if highValueRow >= lowValueRow {
+		t.Errorf("rising series: high value at row %d should be above low value at row %d:\n%s",
+			highValueRow, lowValueRow, sb.String())
+	}
+}
+
+func TestRenderNoPositiveData(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, "empty", []float64{0}, []Series{{Name: "x", Ys: []float64{0}}}, 8)
+	if !strings.Contains(sb.String(), "no positive data") {
+		t.Errorf("expected placeholder, got:\n%s", sb.String())
+	}
+}
+
+func TestRenderSingleValue(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, "one", []float64{0.5}, []Series{{Name: "p", Ys: []float64{42}}}, 0)
+	if !strings.Contains(sb.String(), "*") {
+		t.Errorf("marker missing:\n%s", sb.String())
+	}
+}

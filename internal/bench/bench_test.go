@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit testing the harness.
+func tiny() Config {
+	return Config{
+		Tuples:     4000,
+		Threads:    2,
+		Seed:       7,
+		Zipfs:      []float64{0, 0.5, 1.0},
+		TableZipfs: []float64{0.5, 1.0},
+	}
+}
+
+func TestFig1RunsAndVerifies(t *testing.T) {
+	rep, err := Fig1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Cells) != 3 {
+			t.Errorf("series %s has %d cells", s.Name, len(s.Cells))
+		}
+	}
+}
+
+func TestFig4aRunsAndVerifies(t *testing.T) {
+	rep, err := Fig4a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	names := []string{"Cbase", "cbase-npj", "CSH"}
+	for i, s := range rep.Series {
+		if s.Name != names[i] {
+			t.Errorf("series %d = %s, want %s", i, s.Name, names[i])
+		}
+	}
+}
+
+func TestFig4bRunsAndVerifies(t *testing.T) {
+	rep, err := Fig4b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	for _, s := range rep.Series {
+		for _, c := range s.Cells {
+			if !c.Modelled {
+				t.Errorf("GPU cell not marked modelled in %s", s.Name)
+			}
+		}
+	}
+}
+
+func TestTable1HasPaperRows(t *testing.T) {
+	rep, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	want := []string{
+		"Cbase partition", "Cbase join",
+		"CSH sample+part", "CSH NM-join",
+		"Gbase partition", "Gbase join",
+		"GSH partition", "GSH all other",
+	}
+	if len(rep.Series) != len(want) {
+		t.Fatalf("rows = %d", len(rep.Series))
+	}
+	for i, s := range rep.Series {
+		if s.Name != want[i] {
+			t.Errorf("row %d = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestSpeedupRuns(t *testing.T) {
+	rep, err := Speedup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	if len(rep.CSHSpeedup) != 2 || len(rep.GSHSpeedup) != 2 {
+		t.Fatalf("speedups = %v / %v", rep.CSHSpeedup, rep.GSHSpeedup)
+	}
+	for _, v := range append(append([]float64{}, rep.CSHSpeedup...), rep.GSHSpeedup...) {
+		if v <= 0 {
+			t.Errorf("non-positive speedup %g", v)
+		}
+	}
+}
+
+func TestLargeRuns(t *testing.T) {
+	cfg := tiny()
+	cfg.Tuples = 2000 // Large() multiplies by 8
+	rep, err := Large(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	if rep.Tuples != 16000 {
+		t.Errorf("tuples = %d", rep.Tuples)
+	}
+}
+
+func TestReportFprint(t *testing.T) {
+	rep, err := Fig4b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 4b", "Gbase", "GSH", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("modelled marker '*' missing")
+	}
+}
+
+func TestMemoryRunsAndVerifies(t *testing.T) {
+	rep, err := Memory(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	if len(rep.Series) != 6 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		for i, b := range s.Bytes {
+			if b == 0 {
+				t.Errorf("%s cell %d recorded zero allocations", s.Name, i)
+			}
+		}
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	if !strings.Contains(sb.String(), "heap allocations") {
+		t.Error("output missing title")
+	}
+}
+
+func TestSortVsHashRunsAndVerifies(t *testing.T) {
+	rep, err := SortVsHash(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	if len(rep.Series) != 6 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+}
+
+func TestAnalysisTracksSkew(t *testing.T) {
+	rep, err := Analysis(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	low, high := rep.Rows[0], rep.Rows[2] // zipf 0 and 1.0
+	if high.TopKeyFreq <= low.TopKeyFreq {
+		t.Errorf("top-key frequency should grow with skew: %d vs %d", low.TopKeyFreq, high.TopKeyFreq)
+	}
+	if high.MaxChain <= low.MaxChain {
+		t.Errorf("max chain should grow with skew: %d vs %d", low.MaxChain, high.MaxChain)
+	}
+	if high.MaxTaskShare <= low.MaxTaskShare {
+		t.Errorf("max task share should grow with skew: %g vs %g", low.MaxTaskShare, high.MaxTaskShare)
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	if !strings.Contains(sb.String(), "max-chain") {
+		t.Error("Fprint output missing header")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[string]string{
+		"1.5s":   "1.50s",
+		"2ms":    "2.00ms",
+		"3.5us":  "3.5us",
+		"800ns":  "800ns",
+		"1234ms": "1.23s",
+	}
+	for in, want := range cases {
+		d, err := time.ParseDuration(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%s) = %q, want %q", in, got, want)
+		}
+	}
+}

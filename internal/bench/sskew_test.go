@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSSkewRunsAndVerifies(t *testing.T) {
+	cfg := tiny()
+	cfg.Tuples = 3000
+	rep, err := SSkew(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("verification errors: %v", rep.Errors)
+	}
+	if len(rep.Series) != 5 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Cells) != len(cfg.Zipfs) {
+			t.Errorf("series %s has %d cells, want %d", s.Name, len(s.Cells), len(cfg.Zipfs))
+		}
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	for _, want := range []string{"S-side", "GSH (paper skew-join)", "GSH (S-tiled)"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSpeedupFprint(t *testing.T) {
+	rep, err := Speedup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	for _, want := range []string{"CSH vs Cbase", "GSH vs Gbase", "max CSH speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestLargeFprint(t *testing.T) {
+	cfg := tiny()
+	cfg.Tuples = 1000
+	rep, err := Large(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	if !strings.Contains(sb.String(), "Scale-up experiment") {
+		t.Error("output missing title")
+	}
+}

@@ -1,0 +1,168 @@
+// Package chainedtable implements the bucket-chained hash tables used by
+// the baseline joins.
+//
+// Both Cbase and Gbase use chained hashing (§III). All tuples with the same
+// key hash into the same bucket, so a popular key produces one long chain;
+// probing it costs one dependent memory access per chain node plus a key
+// comparison per node. That behaviour — the paper's central criticism of
+// the baselines under skew — is reproduced faithfully here: chains are
+// index-linked, probes walk them node by node, and every node visit does a
+// key comparison.
+//
+// Two variants are provided:
+//
+//   - Table: single-owner table built over one partition (Cbase join tasks,
+//     GSH/Gbase NM-join blocks build one per task), and
+//   - Concurrent: a latch-free shared table built by many threads with CAS
+//     head insertion (cbase-npj builds one over the whole of R).
+package chainedtable
+
+import (
+	"sync/atomic"
+
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/relation"
+)
+
+// Table is a bucket-chained hash table over a tuple slice. Chains are
+// index-linked: heads[b] is the index of the first tuple in bucket b and
+// next[i] links tuple i to the next tuple in its bucket (-1 terminates).
+type Table struct {
+	// shift selects the HIGH bits of the hashed key as the bucket index.
+	// Radix partitioning consumes the low hash bits, so every tuple within
+	// one partition shares them; bucketing on the high bits keeps chains
+	// short for distinct keys inside a partition.
+	shift  uint32
+	heads  []int32
+	next   []int32
+	tuples []relation.Tuple
+}
+
+// Build constructs a table over tuples with roughly one bucket per tuple
+// (rounded up to a power of two). The tuple slice is retained, not copied.
+func Build(tuples []relation.Tuple) *Table {
+	nb := hashfn.NextPow2(len(tuples))
+	if nb < 2 {
+		nb = 2
+	}
+	t := &Table{
+		shift:  32 - hashfn.Log2(nb),
+		heads:  make([]int32, nb),
+		next:   make([]int32, len(tuples)),
+		tuples: tuples,
+	}
+	for b := range t.heads {
+		t.heads[b] = -1
+	}
+	for i, tp := range tuples {
+		b := hashfn.Mix32(uint32(tp.Key)) >> t.shift
+		t.next[i] = t.heads[b]
+		t.heads[b] = int32(i)
+	}
+	return t
+}
+
+// Probe walks the chain of k's bucket, invoking fn for every tuple whose
+// key equals k, and returns the number of chain nodes visited (the probe
+// cost, used by the GPU divergence model).
+func (t *Table) Probe(k relation.Key, fn func(pr relation.Payload)) int {
+	visited := 0
+	for i := t.heads[hashfn.Mix32(uint32(k))>>t.shift]; i >= 0; i = t.next[i] {
+		visited++
+		if t.tuples[i].Key == k {
+			fn(t.tuples[i].Payload)
+		}
+	}
+	return visited
+}
+
+// ChainLength returns the length of the chain that key k hashes into
+// (matching and colliding tuples alike). The GPU simulator uses it to
+// compute warp divergence without re-walking chains.
+func (t *Table) ChainLength(k relation.Key) int {
+	n := 0
+	for i := t.heads[hashfn.Mix32(uint32(k))>>t.shift]; i >= 0; i = t.next[i] {
+		n++
+	}
+	return n
+}
+
+// MaxChain returns the longest chain in the table, a direct measure of how
+// badly skew degrades chained hashing.
+func (t *Table) MaxChain() int {
+	counts := make([]int, len(t.heads))
+	for b := range t.heads {
+		for i := t.heads[b]; i >= 0; i = t.next[i] {
+			counts[b]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Len returns the number of tuples in the table.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Buckets returns the number of buckets.
+func (t *Table) Buckets() int { return len(t.heads) }
+
+// Concurrent is a shared chained hash table built by multiple threads.
+// Insertion pushes onto the bucket head with a CAS loop, the standard
+// latch-free technique no-partition joins use.
+type Concurrent struct {
+	shift  uint32
+	heads  []atomic.Int32
+	next   []int32
+	tuples []relation.Tuple
+}
+
+// NewConcurrent allocates a concurrent table sized for the given tuple
+// slice. Tuples are inserted afterwards via Insert, typically from many
+// threads over disjoint index ranges.
+func NewConcurrent(tuples []relation.Tuple) *Concurrent {
+	nb := hashfn.NextPow2(len(tuples))
+	if nb < 2 {
+		nb = 2
+	}
+	c := &Concurrent{
+		shift:  32 - hashfn.Log2(nb),
+		heads:  make([]atomic.Int32, nb),
+		next:   make([]int32, len(tuples)),
+		tuples: tuples,
+	}
+	for b := range c.heads {
+		c.heads[b].Store(-1)
+	}
+	return c
+}
+
+// Insert links tuple index i into its bucket. Each index must be inserted
+// exactly once; different threads must insert disjoint indexes.
+func (c *Concurrent) Insert(i int) {
+	b := hashfn.Mix32(uint32(c.tuples[i].Key)) >> c.shift
+	for {
+		old := c.heads[b].Load()
+		c.next[i] = old
+		if c.heads[b].CompareAndSwap(old, int32(i)) {
+			return
+		}
+	}
+}
+
+// Probe walks the chain of k's bucket, invoking fn for matches, and returns
+// the number of nodes visited. Probe must not run concurrently with Insert.
+func (c *Concurrent) Probe(k relation.Key, fn func(pr relation.Payload)) int {
+	visited := 0
+	for i := c.heads[hashfn.Mix32(uint32(k))>>c.shift].Load(); i >= 0; i = c.next[i] {
+		visited++
+		if c.tuples[i].Key == k {
+			fn(c.tuples[i].Payload)
+		}
+	}
+	return visited
+}

@@ -1,0 +1,67 @@
+package csh
+
+import (
+	"fmt"
+	"testing"
+
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+// Ablation benchmarks for CSH's two detection knobs (DESIGN.md §4).
+//
+// The sample rate trades detection cost against recall: too low and
+// moderately skewed keys slip through to the NM-join; too high and the
+// sample phase itself becomes a scan. The threshold trades precision
+// against the skewed-partition bookkeeping: at threshold 2 (the paper's
+// example) a key needs an expected full-table frequency of ~2/rate to be
+// caught.
+
+func ablationWorkload(b *testing.B, theta float64) (r, s relation.Relation) {
+	b.Helper()
+	const n = 1 << 16
+	g, err := zipf.New(zipf.Config{Theta: theta, Universe: n, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Pair(n)
+}
+
+func BenchmarkAblationSampleRate(b *testing.B) {
+	r, s := ablationWorkload(b, 0.9)
+	for _, rate := range []float64{0.001, 0.005, 0.01, 0.05, 0.1} {
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			var skewed int
+			for i := 0; i < b.N; i++ {
+				res := Join(r, s, Config{Threads: 2, SampleRate: rate})
+				skewed = res.Stats.SkewedKeys
+			}
+			b.ReportMetric(float64(skewed), "skewed-keys")
+		})
+	}
+}
+
+func BenchmarkAblationSkewThreshold(b *testing.B) {
+	r, s := ablationWorkload(b, 0.9)
+	for _, thr := range []uint32{2, 3, 4, 6, 8} {
+		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
+			var diverted int
+			for i := 0; i < b.N; i++ {
+				res := Join(r, s, Config{Threads: 2, SkewThreshold: thr})
+				diverted = res.Stats.SkewedTuplesR
+			}
+			b.ReportMetric(float64(diverted), "skewed-R-tuples")
+		})
+	}
+}
+
+func BenchmarkAblationRadixBits(b *testing.B) {
+	r, s := ablationWorkload(b, 0.8)
+	for _, bits := range [][2]uint32{{4, 0}, {6, 0}, {8, 0}, {6, 4}, {6, 5}, {8, 6}} {
+		b.Run(fmt.Sprintf("bits=%d+%d", bits[0], bits[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Join(r, s, Config{Threads: 2, Bits1: bits[0], Bits2: bits[1]})
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package csh
+
+import (
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/relation"
+)
+
+// checkupTable is the paper's "skew checkup table" (§IV-A, Figure 2): an
+// open-addressing map from skewed key to the id of its skewed partition,
+// probed once per input tuple during the partition phase. Lookups on the
+// hot path are a hash, a masked index and (almost always) one comparison.
+type checkupTable struct {
+	mask uint32
+	keys []relation.Key
+	ids  []int32 // -1 = empty slot
+}
+
+// newCheckupTable builds the table from the detected skewed keys, in order:
+// the id of keys[i] is i.
+func newCheckupTable(keys []relation.Key) *checkupTable {
+	cap := hashfn.NextPow2(len(keys) * 2)
+	if cap < 8 {
+		cap = 8
+	}
+	t := &checkupTable{
+		mask: uint32(cap - 1),
+		keys: make([]relation.Key, cap),
+		ids:  make([]int32, cap),
+	}
+	for i := range t.ids {
+		t.ids[i] = -1
+	}
+	for i, k := range keys {
+		j := hashfn.Mix32(uint32(k)) & t.mask
+		for t.ids[j] >= 0 {
+			if t.keys[j] == k {
+				break // duplicate key: keep the first id
+			}
+			j = (j + 1) & t.mask
+		}
+		if t.ids[j] < 0 {
+			t.keys[j] = k
+			t.ids[j] = int32(i)
+		}
+	}
+	return t
+}
+
+// lookup returns the skewed-partition id of k, or -1 if k is not skewed.
+func (t *checkupTable) lookup(k relation.Key) int32 {
+	j := hashfn.Mix32(uint32(k)) & t.mask
+	for t.ids[j] >= 0 {
+		if t.keys[j] == k {
+			return t.ids[j]
+		}
+		j = (j + 1) & t.mask
+	}
+	return -1
+}
+
+// contains reports whether k is a skewed key.
+func (t *checkupTable) contains(k relation.Key) bool { return t.lookup(k) >= 0 }
+
+// size returns the number of skewed keys in the table.
+func (t *checkupTable) size() int {
+	n := 0
+	for _, id := range t.ids {
+		if id >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+// Package exec is the CPU parallel-execution substrate used by the CPU join
+// algorithms (Cbase, cbase-npj, CSH). It provides the two scheduling shapes
+// the paper describes for Cbase (§II-B):
+//
+//   - static segment assignment: the input is cut into equal segments, one
+//     per thread (used by the first partitioning pass), and
+//   - dynamic task queues: partition tasks and join tasks are pushed into a
+//     queue and threads repeatedly dequeue until the queue drains (used by
+//     the second partitioning pass and the join phase to tolerate load
+//     variance).
+//
+// Threads are goroutines; the thread count is configurable so experiments
+// can reproduce the paper's 20-thread setting or scale to the host.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultThreads mirrors the paper's "20 threads" configuration but is
+// capped by the host's usable parallelism.
+func DefaultThreads() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Parallel runs fn(worker) on `threads` goroutines and waits for all of
+// them. worker ranges over [0, threads).
+func Parallel(threads int, fn func(worker int)) {
+	if threads <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Segment returns the half-open range [lo, hi) of items assigned to the
+// given worker when n items are divided into `threads` equal segments.
+func Segment(n, threads, worker int) (lo, hi int) {
+	per := n / threads
+	rem := n % threads
+	lo = worker*per + min(worker, rem)
+	hi = lo + per
+	if worker < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Queue is a dynamic task queue: tasks are appended before the parallel
+// phase starts, then workers drain it with Next. Dequeueing is a single
+// atomic fetch-add, which is how dynamic load balancing stays cheap even
+// with fine-grained tasks.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	tasks []T
+	next  int
+}
+
+// NewQueue returns a queue pre-loaded with the given tasks.
+func NewQueue[T any](tasks []T) *Queue[T] {
+	return &Queue[T]{tasks: tasks}
+}
+
+// Push appends a task. It is safe to call concurrently with Next, which the
+// join phase needs when a large task is split into sub-tasks on the fly
+// (Cbase's skew handling).
+func (q *Queue[T]) Push(t T) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+}
+
+// Next dequeues one task. ok is false when the queue is drained at the time
+// of the call. A worker loop should retry via Drain rather than Next when
+// other workers may still Push.
+func (q *Queue[T]) Next() (t T, ok bool) {
+	q.mu.Lock()
+	if q.next < len(q.tasks) {
+		t = q.tasks[q.next]
+		q.next++
+		ok = true
+	}
+	q.mu.Unlock()
+	return t, ok
+}
+
+// Len returns the total number of tasks ever pushed.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}
+
+// Drain runs fn on every task using `threads` workers until the queue is
+// fully drained, including tasks pushed by fn itself while draining. The
+// in-flight counter makes the termination condition exact: the queue is done
+// when it is empty and no worker is still executing a task that could push
+// more.
+func (q *Queue[T]) Drain(threads int, fn func(worker int, t T)) {
+	var inflight atomic.Int64
+	Parallel(threads, func(worker int) {
+		for {
+			t, ok := q.Next()
+			if !ok {
+				if inflight.Load() != 0 {
+					// Someone is still working and may push sub-tasks.
+					runtime.Gosched()
+					continue
+				}
+				// Queue empty and nobody in flight. Re-poll once to close
+				// the race between a Push and the in-flight decrement; a
+				// task surfacing here must be processed, not dropped.
+				t, ok = q.Next()
+				if !ok {
+					return
+				}
+			}
+			inflight.Add(1)
+			fn(worker, t)
+			inflight.Add(-1)
+		}
+	})
+}
+
+// PhaseTimer records named phase durations for an algorithm run, which is
+// how the experiment harness reproduces the paper's per-phase breakdowns
+// (Figure 1, Table I).
+type PhaseTimer struct {
+	mu     sync.Mutex
+	phases []Phase
+}
+
+// Phase is one named timed section of an algorithm.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Time runs fn and records its wall-clock duration under name.
+func (pt *PhaseTimer) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	pt.mu.Lock()
+	pt.phases = append(pt.phases, Phase{Name: name, Duration: d})
+	pt.mu.Unlock()
+}
+
+// Add records an externally measured (or modelled) duration under name.
+func (pt *PhaseTimer) Add(name string, d time.Duration) {
+	pt.mu.Lock()
+	pt.phases = append(pt.phases, Phase{Name: name, Duration: d})
+	pt.mu.Unlock()
+}
+
+// Phases returns the recorded phases in record order.
+func (pt *PhaseTimer) Phases() []Phase {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	out := make([]Phase, len(pt.phases))
+	copy(out, pt.phases)
+	return out
+}
+
+// Total returns the sum of all recorded phase durations.
+func (pt *PhaseTimer) Total() time.Duration {
+	var sum time.Duration
+	for _, p := range pt.Phases() {
+		sum += p.Duration
+	}
+	return sum
+}
+
+// Get returns the duration recorded under name (summed if recorded more
+// than once) and whether it was present.
+func (pt *PhaseTimer) Get(name string) (time.Duration, bool) {
+	var sum time.Duration
+	found := false
+	for _, p := range pt.Phases() {
+		if p.Name == name {
+			sum += p.Duration
+			found = true
+		}
+	}
+	return sum, found
+}

@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSegmentCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, threads int }{
+		{0, 1}, {1, 1}, {10, 3}, {7, 7}, {5, 8}, {100, 9}, {1, 16},
+	} {
+		covered := make([]int, tc.n)
+		prevHi := 0
+		for w := 0; w < tc.threads; w++ {
+			lo, hi := Segment(tc.n, tc.threads, w)
+			if lo != prevHi {
+				t.Fatalf("n=%d threads=%d worker=%d: lo=%d, want %d", tc.n, tc.threads, w, lo, prevHi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d threads=%d: segments end at %d", tc.n, tc.threads, prevHi)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d threads=%d: item %d covered %d times", tc.n, tc.threads, i, c)
+			}
+		}
+	}
+}
+
+func TestSegmentBalance(t *testing.T) {
+	// Segments differ by at most one item.
+	n, threads := 1000, 7
+	min, max := n, 0
+	for w := 0; w < threads; w++ {
+		lo, hi := Segment(n, threads, w)
+		if hi-lo < min {
+			min = hi - lo
+		}
+		if hi-lo > max {
+			max = hi - lo
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("segment sizes range %d..%d", min, max)
+	}
+}
+
+func TestQuickSegment(t *testing.T) {
+	f := func(nRaw uint16, thRaw uint8) bool {
+		n := int(nRaw)
+		threads := int(thRaw%32) + 1
+		total := 0
+		for w := 0; w < threads; w++ {
+			lo, hi := Segment(n, threads, w)
+			if lo > hi || lo < 0 || hi > n {
+				return false
+			}
+			total += hi - lo
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelRunsAllWorkers(t *testing.T) {
+	var ran [8]atomic.Int32
+	Parallel(8, func(w int) { ran[w].Add(1) })
+	for w := range ran {
+		if got := ran[w].Load(); got != 1 {
+			t.Errorf("worker %d ran %d times", w, got)
+		}
+	}
+}
+
+func TestParallelSingleThreadInline(t *testing.T) {
+	ran := false
+	Parallel(1, func(w int) {
+		if w != 0 {
+			t.Errorf("worker id %d", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Error("worker did not run")
+	}
+}
+
+func TestQueueDrainProcessesEveryTask(t *testing.T) {
+	tasks := make([]int, 1000)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	q := NewQueue(tasks)
+	var seen [1000]atomic.Int32
+	q.Drain(4, func(w, task int) { seen[task].Add(1) })
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("task %d processed %d times", i, got)
+		}
+	}
+}
+
+func TestQueueDrainWithDynamicPushes(t *testing.T) {
+	// Tasks pushed while draining (Cbase's split-task pattern) must all be
+	// processed before Drain returns.
+	q := NewQueue([]int{0})
+	var processed atomic.Int32
+	const depth = 6
+	q.Drain(4, func(w, task int) {
+		processed.Add(1)
+		if task < depth {
+			q.Push(task + 1)
+			q.Push(task + 1)
+		}
+	})
+	// Full binary fan-out: 1 + 2 + 4 + ... + 2^depth tasks.
+	want := int32(1<<(depth+1) - 1)
+	if got := processed.Load(); got != want {
+		t.Errorf("processed %d tasks, want %d", got, want)
+	}
+}
+
+func TestQueueDrainPushRaceStress(t *testing.T) {
+	// Hammer the Push-during-Drain race: every task pushed while draining
+	// must be processed exactly once, even when pushes land just as other
+	// workers conclude the queue is empty.
+	for round := 0; round < 50; round++ {
+		q := NewQueue([]int{0, 1, 2, 3})
+		var processed atomic.Int64
+		var pushes atomic.Int64
+		q.Drain(8, func(w, task int) {
+			processed.Add(1)
+			if task < 100 && pushes.Add(1) <= 64 {
+				q.Push(1000 + task)
+			}
+		})
+		want := int64(q.Len())
+		if got := processed.Load(); got != want {
+			t.Fatalf("round %d: processed %d of %d tasks", round, got, want)
+		}
+	}
+}
+
+func TestQueueNextExhausted(t *testing.T) {
+	q := NewQueue([]string{"a"})
+	if v, ok := q.Next(); !ok || v != "a" {
+		t.Fatalf("Next = %q, %v", v, ok)
+	}
+	if _, ok := q.Next(); ok {
+		t.Error("Next on empty queue returned ok")
+	}
+	q.Push("b")
+	if v, ok := q.Next(); !ok || v != "b" {
+		t.Errorf("Next after Push = %q, %v", v, ok)
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	q := NewQueue([]int{1, 2, 3})
+	q.Next()
+	q.Push(4)
+	if got := q.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4 (total ever pushed)", got)
+	}
+}
+
+func TestQueueConcurrentDequeueUnique(t *testing.T) {
+	n := 10000
+	tasks := make([]int, n)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	q := NewQueue(tasks)
+	var mu sync.Mutex
+	seen := make(map[int]bool, n)
+	Parallel(8, func(w int) {
+		for {
+			v, ok := q.Next()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			if seen[v] {
+				t.Errorf("task %d dequeued twice", v)
+			}
+			seen[v] = true
+			mu.Unlock()
+		}
+	})
+	if len(seen) != n {
+		t.Errorf("dequeued %d tasks, want %d", len(seen), n)
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	var pt PhaseTimer
+	pt.Time("a", func() { time.Sleep(time.Millisecond) })
+	pt.Add("b", 5*time.Millisecond)
+	pt.Add("a", 2*time.Millisecond)
+
+	if got := pt.Phases(); len(got) != 3 {
+		t.Fatalf("got %d phases", len(got))
+	}
+	a, ok := pt.Get("a")
+	if !ok || a < 3*time.Millisecond {
+		t.Errorf("phase a = %v, %v", a, ok)
+	}
+	if _, ok := pt.Get("missing"); ok {
+		t.Error("Get returned ok for missing phase")
+	}
+	if total := pt.Total(); total < 8*time.Millisecond {
+		t.Errorf("total = %v", total)
+	}
+}
+
+func TestDefaultThreadsPositive(t *testing.T) {
+	if DefaultThreads() < 1 {
+		t.Errorf("DefaultThreads = %d", DefaultThreads())
+	}
+}

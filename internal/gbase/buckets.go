@@ -1,0 +1,83 @@
+package gbase
+
+import (
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/relation"
+)
+
+// Gbase stores each partition as a linked list of fixed-size buckets: "If
+// a bucket is full, Gbase allocates a new bucket and links the buckets of
+// a partition in a linked list" (§II-B). This file implements that
+// structure functionally. The skew technique then falls out naturally: a
+// long bucket list is decomposed into disjoint *sub-lists* — runs of
+// consecutive buckets — each joined against the full S list by its own
+// thread block.
+
+// bucketList is one partition's chain of buckets.
+type bucketList struct {
+	buckets [][]relation.Tuple // each of capacity bucketTuples
+	total   int
+}
+
+// append adds one tuple, allocating a new bucket when the tail is full.
+func (bl *bucketList) append(t relation.Tuple, bucketTuples int) {
+	if n := len(bl.buckets); n == 0 || len(bl.buckets[n-1]) == bucketTuples {
+		bl.buckets = append(bl.buckets, make([]relation.Tuple, 0, bucketTuples))
+	}
+	tail := len(bl.buckets) - 1
+	bl.buckets[tail] = append(bl.buckets[tail], t)
+	bl.total++
+}
+
+// gather copies the tuples of buckets [lo, hi) into dst (resliced and
+// returned) — the block reading a sub-list into shared memory.
+func (bl *bucketList) gather(dst []relation.Tuple, lo, hi int) []relation.Tuple {
+	dst = dst[:0]
+	for _, b := range bl.buckets[lo:hi] {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// partitionBuckets runs Gbase's two partition passes over the table,
+// producing one bucket list per final partition. Pass 1 scatters on the
+// low bits1 bits into fan1 lists; pass 2 refines each of those into fan2
+// sub-partitions. The final ordering of partition ids matches
+// radix.PartOf (p1<<bits2 | p2), so R and S lists pair up by index.
+func partitionBuckets(tuples []relation.Tuple, bits1, bits2 uint32, bucketTuples int) []*bucketList {
+	fan1 := 1 << bits1
+	fan2 := 1 << bits2
+
+	pass1 := make([]*bucketList, fan1)
+	for i := range pass1 {
+		pass1[i] = &bucketList{}
+	}
+	for _, t := range tuples {
+		pass1[hashfn.Radix(t.Key, 0, bits1)].append(t, bucketTuples)
+	}
+
+	final := make([]*bucketList, fan1*fan2)
+	for i := range final {
+		final[i] = &bucketList{}
+	}
+	for p1 := 0; p1 < fan1; p1++ {
+		for _, bucket := range pass1[p1].buckets {
+			for _, t := range bucket {
+				p2 := hashfn.Radix(t.Key, bits1, bits2)
+				final[p1*fan2+int(p2)].append(t, bucketTuples)
+			}
+		}
+	}
+	return final
+}
+
+// maxListTotal returns the largest partition's tuple count.
+func maxListTotal(lists []*bucketList) int {
+	max := 0
+	for _, bl := range lists {
+		if bl.total > max {
+			max = bl.total
+		}
+	}
+	return max
+}

@@ -1,0 +1,142 @@
+package gbase
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+func TestBucketListAppendAndChaining(t *testing.T) {
+	var bl bucketList
+	for i := 0; i < 10; i++ {
+		bl.append(relation.Tuple{Key: relation.Key(i)}, 4)
+	}
+	if bl.total != 10 {
+		t.Fatalf("total = %d", bl.total)
+	}
+	if len(bl.buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3 (4+4+2)", len(bl.buckets))
+	}
+	for i, b := range bl.buckets {
+		if len(b) > 4 {
+			t.Errorf("bucket %d overfull: %d", i, len(b))
+		}
+		if i < len(bl.buckets)-1 && len(b) != 4 {
+			t.Errorf("non-tail bucket %d not full: %d", i, len(b))
+		}
+	}
+}
+
+func TestGatherRanges(t *testing.T) {
+	var bl bucketList
+	for i := 0; i < 10; i++ {
+		bl.append(relation.Tuple{Key: relation.Key(i)}, 3)
+	}
+	all := bl.gather(nil, 0, len(bl.buckets))
+	if len(all) != 10 {
+		t.Fatalf("gather all: %d tuples", len(all))
+	}
+	// Disjoint ranges cover exactly the list.
+	head := bl.gather(nil, 0, 2)
+	tail := bl.gather(nil, 2, len(bl.buckets))
+	if len(head)+len(tail) != 10 {
+		t.Errorf("split gather: %d + %d", len(head), len(tail))
+	}
+	for i, tp := range append(head, tail...) {
+		if tp.Key != relation.Key(i) {
+			t.Fatalf("gather order broken at %d: key %d", i, tp.Key)
+		}
+	}
+	// gather reuses the destination slice.
+	buf := make([]relation.Tuple, 0, 16)
+	out := bl.gather(buf, 0, 1)
+	if cap(out) != cap(buf) {
+		t.Error("gather did not reuse the destination")
+	}
+}
+
+func TestPartitionBucketsPreservesMultiset(t *testing.T) {
+	g := zipf.MustNew(zipf.Config{Theta: 0.9, Universe: 2000, Seed: 1})
+	tuples := g.NewRelation(20000, 1).Tuples
+	lists := partitionBuckets(tuples, 3, 2, 64)
+	if len(lists) != 32 {
+		t.Fatalf("got %d lists", len(lists))
+	}
+	var got []relation.Tuple
+	total := 0
+	for p, bl := range lists {
+		total += bl.total
+		for _, bucket := range bl.buckets {
+			for _, tp := range bucket {
+				// Placement: tuple must belong to partition p.
+				want := int(hashfn.Radix(tp.Key, 0, 3))<<2 | int(hashfn.Radix(tp.Key, 3, 2))
+				if want != p {
+					t.Fatalf("key %d in partition %d, want %d", tp.Key, p, want)
+				}
+				got = append(got, tp)
+			}
+		}
+	}
+	if total != len(tuples) || len(got) != len(tuples) {
+		t.Fatalf("lists hold %d tuples, want %d", total, len(tuples))
+	}
+	sortTuples(got)
+	want := make([]relation.Tuple, len(tuples))
+	copy(want, tuples)
+	sortTuples(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset differs at %d", i)
+		}
+	}
+}
+
+func sortTuples(ts []relation.Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Key != ts[j].Key {
+			return ts[i].Key < ts[j].Key
+		}
+		return ts[i].Payload < ts[j].Payload
+	})
+}
+
+func TestQuickPartitionBuckets(t *testing.T) {
+	f := func(keys []uint16, bucketRaw uint8) bool {
+		tuples := make([]relation.Tuple, len(keys))
+		for i, k := range keys {
+			tuples[i] = relation.Tuple{Key: relation.Key(k), Payload: relation.Payload(i)}
+		}
+		bucketTuples := int(bucketRaw%32) + 1
+		lists := partitionBuckets(tuples, 2, 2, bucketTuples)
+		total := 0
+		for _, bl := range lists {
+			total += bl.total
+			for i, b := range bl.buckets {
+				if len(b) > bucketTuples {
+					return false
+				}
+				if i < len(bl.buckets)-1 && len(b) != bucketTuples {
+					return false
+				}
+			}
+		}
+		return total == len(tuples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxListTotal(t *testing.T) {
+	a, b := &bucketList{total: 3}, &bucketList{total: 7}
+	if got := maxListTotal([]*bucketList{a, b}); got != 7 {
+		t.Errorf("maxListTotal = %d", got)
+	}
+	if got := maxListTotal(nil); got != 0 {
+		t.Errorf("empty maxListTotal = %d", got)
+	}
+}

@@ -1,0 +1,93 @@
+package gbase
+
+import (
+	"testing"
+
+	"skewjoin/internal/oracle"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+func workload(t *testing.T, n int, theta float64, seed int64) (relation.Relation, relation.Relation) {
+	t.Helper()
+	g, err := zipf.New(zipf.Config{Theta: theta, Universe: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(n)
+	return r, s
+}
+
+func TestJoinMatchesOracleAcrossSkew(t *testing.T) {
+	for _, theta := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		r, s := workload(t, 20000, theta, 42)
+		want := oracle.Expected(r, s)
+		got := Join(r, s, Config{})
+		if got.Summary != want {
+			t.Errorf("theta=%.2f: got %+v, want %+v", theta, got.Summary, want)
+		}
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	var empty relation.Relation
+	r, s := workload(t, 1000, 0.8, 7)
+	if res := Join(empty, s, Config{}); res.Summary.Count != 0 {
+		t.Errorf("empty R: got %d results", res.Summary.Count)
+	}
+	if res := Join(r, empty, Config{}); res.Summary.Count != 0 {
+		t.Errorf("empty S: got %d results", res.Summary.Count)
+	}
+}
+
+func TestSubListsEngageUnderSkew(t *testing.T) {
+	r, s := workload(t, 100000, 1.0, 3)
+	res := Join(r, s, Config{})
+	if res.Stats.SubListBlocks == 0 {
+		t.Error("zipf 1.0 should decompose a skewed R partition into sub-lists")
+	}
+	if res.Stats.SReprobes == 0 {
+		t.Error("sub-lists should re-probe S tuples")
+	}
+
+	r, s = workload(t, 100000, 0, 3)
+	res = Join(r, s, Config{})
+	if res.Stats.SubListBlocks != 0 {
+		t.Errorf("uniform data used %d sub-list blocks", res.Stats.SubListBlocks)
+	}
+}
+
+func TestPartitionTimeSkewIndependent(t *testing.T) {
+	// Figure 1: "the partition time stays relatively stable" across skew.
+	r0, s0 := workload(t, 100000, 0, 9)
+	r1, s1 := workload(t, 100000, 1.0, 9)
+	p0 := phase(t, Join(r0, s0, Config{}), "partition")
+	p1 := phase(t, Join(r1, s1, Config{}), "partition")
+	ratio := float64(p1) / float64(p0)
+	if ratio > 1.5 || ratio < 0.67 {
+		t.Errorf("Gbase partition time should be skew-independent; zipf1/zipf0 ratio = %.2f", ratio)
+	}
+}
+
+func TestJoinTimeExplodesWithSkew(t *testing.T) {
+	// Figure 1: "the execution time of the join phase rockets as the zipf
+	// factor increases".
+	r0, s0 := workload(t, 100000, 0, 9)
+	r1, s1 := workload(t, 100000, 1.0, 9)
+	j0 := phase(t, Join(r0, s0, Config{}), "join")
+	j1 := phase(t, Join(r1, s1, Config{}), "join")
+	if j1 < 10*j0 {
+		t.Errorf("Gbase join time should explode with skew: zipf0=%v zipf1=%v", j0, j1)
+	}
+}
+
+func phase(t *testing.T, res Result, name string) int64 {
+	t.Helper()
+	for _, p := range res.Phases {
+		if p.Name == name {
+			return int64(p.Duration)
+		}
+	}
+	t.Fatalf("phase %q not found", name)
+	return 0
+}

@@ -1,0 +1,33 @@
+package gbase
+
+import (
+	"testing"
+
+	"skewjoin/internal/oracle"
+)
+
+func TestSubListSizeInvariance(t *testing.T) {
+	// Correctness must not depend on the sub-list granularity.
+	r, s := workload(t, 40000, 1.0, 21)
+	want := oracle.Expected(r, s)
+	for _, sub := range []int{64, 500, 4096, 1 << 20 /* clamped */} {
+		res := Join(r, s, Config{SubListTuples: sub})
+		if res.Summary != want {
+			t.Errorf("sublist=%d: got %+v, want %+v", sub, res.Summary, want)
+		}
+	}
+}
+
+func TestSmallerSubListsMeanMoreReprobes(t *testing.T) {
+	r, s := workload(t, 60000, 1.0, 22)
+	big := Join(r, s, Config{SubListTuples: 4096})
+	small := Join(r, s, Config{SubListTuples: 256})
+	if small.Stats.SReprobes <= big.Stats.SReprobes {
+		t.Errorf("reprobes should grow as sub-lists shrink: %d (256) vs %d (4096)",
+			small.Stats.SReprobes, big.Stats.SReprobes)
+	}
+	if small.Stats.JoinBlocks <= big.Stats.JoinBlocks {
+		t.Errorf("blocks should grow as sub-lists shrink: %d vs %d",
+			small.Stats.JoinBlocks, big.Stats.JoinBlocks)
+	}
+}

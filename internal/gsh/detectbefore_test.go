@@ -1,0 +1,44 @@
+package gsh
+
+import (
+	"testing"
+
+	"skewjoin/internal/oracle"
+)
+
+func TestDetectBeforeMatchesOracle(t *testing.T) {
+	for _, theta := range []float64{0, 0.6, 1.0} {
+		r, s := workload(t, 30000, theta, 42)
+		want := oracle.Expected(r, s)
+		got := Join(r, s, Config{DetectBefore: true})
+		if got.Summary != want {
+			t.Errorf("theta=%.1f: got %+v, want %+v", theta, got.Summary, want)
+		}
+	}
+}
+
+func TestDetectBeforeAgreesWithDetectAfter(t *testing.T) {
+	r, s := workload(t, 40000, 0.95, 9)
+	after := Join(r, s, Config{})
+	before := Join(r, s, Config{DetectBefore: true})
+	if after.Summary != before.Summary {
+		t.Errorf("summaries differ: after %+v vs before %+v", after.Summary, before.Summary)
+	}
+}
+
+func TestDetectBeforePartitionIsSlowerUnderSkew(t *testing.T) {
+	// The §IV-B argument: in-kernel skew checking makes the partition
+	// phase pay divergence and serialised appends, which detect-after
+	// avoids.
+	r, s := workload(t, 60000, 1.0, 5)
+	after := Join(r, s, Config{})
+	before := Join(r, s, Config{DetectBefore: true})
+	if before.Stats.SkewedKeys == 0 {
+		t.Fatal("pre-detection found no skewed keys at zipf 1.0")
+	}
+	pAfter := after.Phases[0].Duration
+	pBefore := before.Phases[0].Duration
+	if pBefore <= pAfter {
+		t.Errorf("detect-before partition %v should exceed detect-after %v", pBefore, pAfter)
+	}
+}

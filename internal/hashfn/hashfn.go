@@ -1,0 +1,61 @@
+// Package hashfn provides the hash functions and radix utilities shared by
+// all join algorithms: a multiplicative bucket hash for hash tables, a
+// finalizer-style mixer for checksums, and radix extraction for the
+// partitioning phases.
+package hashfn
+
+import "skewjoin/internal/relation"
+
+// Mix32 is a Murmur3-style 32-bit finalizer. The chained hash tables use it
+// so that nearly-sequential keys spread across buckets.
+func Mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// Mix64 is the SplitMix64 finalizer, used for order-independent output
+// checksums and sampling hash tables.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Bucket maps a key into [0, nBuckets) where nBuckets is a power of two.
+func Bucket(k relation.Key, mask uint32) uint32 {
+	return Mix32(uint32(k)) & mask
+}
+
+// Radix extracts `bits` bits of the hashed key starting at bit `shift`.
+// Radix partitioning hashes before extracting so that partition membership
+// is independent of any structure in the raw key values, exactly as radix
+// joins do (the paper's Cbase follows Balkesen et al.).
+func Radix(k relation.Key, shift, bits uint32) uint32 {
+	return (Mix32(uint32(k)) >> shift) & ((1 << bits) - 1)
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Log2 returns floor(log2(n)) for n >= 1.
+func Log2(n int) uint32 {
+	var l uint32
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,101 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skewjoin/internal/relation"
+)
+
+func TestMix32Bijective(t *testing.T) {
+	// Murmur finalizers are bijective; spot-check injectivity over a dense
+	// range (a collision would disprove bijectivity).
+	seen := make(map[uint32]uint32, 1<<16)
+	for i := uint32(0); i < 1<<16; i++ {
+		h := Mix32(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix32 collision: %d and %d both map to %d", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMix32SpreadsSequentialKeys(t *testing.T) {
+	// Sequential keys must not land in sequential buckets.
+	const mask = 0xFF
+	hits := make([]int, mask+1)
+	for i := uint32(0); i < 4096; i++ {
+		hits[Mix32(i)&mask]++
+	}
+	for b, h := range hits {
+		if h == 0 {
+			t.Errorf("bucket %d empty after 4096 sequential keys", b)
+		}
+		if h > 64 {
+			t.Errorf("bucket %d got %d of 4096 keys", b, h)
+		}
+	}
+}
+
+func TestMix64NonTrivial(t *testing.T) {
+	if Mix64(0) == 0 && Mix64(1) == 1 {
+		t.Error("Mix64 looks like identity")
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Error("Mix64 collision on small inputs")
+	}
+}
+
+func TestRadixRange(t *testing.T) {
+	f := func(k uint32, shiftRaw, bitsRaw uint8) bool {
+		shift := uint32(shiftRaw % 24)
+		bits := uint32(bitsRaw%12) + 1
+		r := Radix(relation.Key(k), shift, bits)
+		return r < 1<<bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadixConsistentWithBucket(t *testing.T) {
+	// Radix with shift 0 and Bucket with the same mask must agree: both
+	// look at the low bits of the hashed key.
+	for k := uint32(0); k < 1000; k++ {
+		if Radix(relation.Key(k), 0, 8) != Bucket(relation.Key(k), 0xFF) {
+			t.Fatalf("Radix and Bucket disagree for key %d", k)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]uint32{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1024: 10}
+	for in, want := range cases {
+		if got := Log2(in); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestQuickNextPow2(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)
+		p := NextPow2(n)
+		if p < 1 || p < n {
+			return false
+		}
+		return p&(p-1) == 0 && (p == 1 || p/2 < n || n <= 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

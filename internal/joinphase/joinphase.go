@@ -1,0 +1,141 @@
+// Package joinphase implements the task-queue join phase shared by Cbase
+// and by CSH's NM-join (§IV-A step 4: "CSH can efficiently join each pair
+// of normal partitions... Our implementation parallelizes all the phases
+// with multiple CPU threads in the similar fashion as Cbase").
+//
+// Every non-empty (R partition, S partition) pair becomes a join task in a
+// dynamic queue. A worker dequeues a task, builds a chained hash table over
+// the R partition, and probes it with the S partition. Cbase's skew
+// handling is included: a task whose S side is much larger than average is
+// broken up — the table is built once and the S side is re-enqueued as
+// smaller probe sub-tasks.
+package joinphase
+
+import (
+	"skewjoin/internal/chainedtable"
+	"skewjoin/internal/exec"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/radix"
+	"skewjoin/internal/relation"
+)
+
+// Config tunes the join phase.
+type Config struct {
+	// Threads is the number of workers draining the task queue.
+	Threads int
+	// SkewFactor: a task whose S partition exceeds SkewFactor times the
+	// average S partition size is split into probe sub-tasks. <= 0 disables
+	// splitting.
+	SkewFactor float64
+}
+
+// Stats reports what happened inside the join phase.
+type Stats struct {
+	Tasks         int    // join tasks drained, including probe sub-tasks
+	SplitTasks    int    // oversized tasks that were broken up
+	MaxChain      int    // longest hash chain across all build tables
+	ProbeVisits   uint64 // total chain nodes visited while probing
+	MaxTaskOutput uint64 // results produced by the single largest task
+}
+
+type task struct {
+	part  int                 // partition index; -1 for a probe sub-task
+	table *chainedtable.Table // pre-built R table for probe sub-tasks
+	sPart []relation.Tuple    // S tuples to probe for probe sub-tasks
+}
+
+// Run joins every partition pair of pr and ps, emitting results into the
+// per-worker buffers bufs (len must be >= cfg.Threads).
+func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
+	if cfg.Threads <= 0 {
+		cfg.Threads = exec.DefaultThreads()
+	}
+	fanout := pr.Fanout()
+	avg := 1
+	if fanout > 0 {
+		avg = (ps.Total() + fanout - 1) / fanout
+		if avg == 0 {
+			avg = 1
+		}
+	}
+	splitThreshold := 0
+	if cfg.SkewFactor > 0 {
+		splitThreshold = int(cfg.SkewFactor * float64(avg))
+	}
+
+	tasks := make([]task, 0, fanout)
+	for p := 0; p < fanout; p++ {
+		if pr.Size(p) == 0 || ps.Size(p) == 0 {
+			continue
+		}
+		tasks = append(tasks, task{part: p})
+	}
+	q := exec.NewQueue(tasks)
+
+	type workerStat struct {
+		maxChain      int
+		probeVisits   uint64
+		maxTaskOutput uint64
+		splits        int
+	}
+	ws := make([]workerStat, cfg.Threads)
+
+	q.Drain(cfg.Threads, func(w int, t task) {
+		buf := bufs[w]
+		stat := &ws[w]
+		var table *chainedtable.Table
+		var sSide []relation.Tuple
+
+		if t.part >= 0 {
+			table = chainedtable.Build(pr.Part(t.part))
+			if mc := table.MaxChain(); mc > stat.maxChain {
+				stat.maxChain = mc
+			}
+			sPart := ps.Part(t.part)
+			if splitThreshold > 0 && len(sPart) > splitThreshold {
+				stat.splits++
+				for lo := avg; lo < len(sPart); lo += avg {
+					hi := lo + avg
+					if hi > len(sPart) {
+						hi = len(sPart)
+					}
+					q.Push(task{part: -1, table: table, sPart: sPart[lo:hi]})
+				}
+				sSide = sPart[:avg]
+			} else {
+				sSide = sPart
+			}
+		} else {
+			table = t.table
+			sSide = t.sPart
+		}
+
+		before := buf.Count()
+		// One emit closure per task (not per probe) keeps the hot loop free
+		// of per-tuple closure allocation.
+		var curKey relation.Key
+		var curPS relation.Payload
+		emit := func(p relation.Payload) { buf.Push(curKey, p, curPS) }
+		for _, ts := range sSide {
+			curKey, curPS = ts.Key, ts.Payload
+			stat.probeVisits += uint64(table.Probe(ts.Key, emit))
+		}
+		if out := buf.Count() - before; out > stat.maxTaskOutput {
+			stat.maxTaskOutput = out
+		}
+	})
+
+	var st Stats
+	st.Tasks = q.Len()
+	for _, s := range ws {
+		if s.maxChain > st.MaxChain {
+			st.MaxChain = s.maxChain
+		}
+		st.ProbeVisits += s.probeVisits
+		if s.maxTaskOutput > st.MaxTaskOutput {
+			st.MaxTaskOutput = s.maxTaskOutput
+		}
+		st.SplitTasks += s.splits
+	}
+	return st
+}

@@ -1,0 +1,86 @@
+package joinphase
+
+import (
+	"testing"
+
+	"skewjoin/internal/oracle"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/radix"
+	"skewjoin/internal/zipf"
+)
+
+func run(t *testing.T, n int, theta float64, threads int, skewFactor float64, rcfg radix.Config) (outbuf.Summary, Stats, outbuf.Summary) {
+	t.Helper()
+	g, err := zipf.New(zipf.Config{Theta: theta, Universe: n, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(n)
+	want := oracle.Expected(r, s)
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	bufs := make([]*outbuf.Buffer, threads)
+	for i := range bufs {
+		bufs[i] = outbuf.New(0)
+	}
+	st := Run(pr, ps, Config{Threads: threads, SkewFactor: skewFactor}, bufs)
+	return outbuf.Summarize(bufs), st, want
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	for _, theta := range []float64{0, 0.6, 1.0} {
+		got, _, want := run(t, 20000, theta, 4, 4, radix.Config{Threads: 4, Bits1: 5, Bits2: 3})
+		if got != want {
+			t.Errorf("theta=%g: got %+v, want %+v", theta, got, want)
+		}
+	}
+}
+
+func TestSkewedPartitionTriggersSplits(t *testing.T) {
+	// At zipf 1.0 with fanout 32, the partition holding the top key dwarfs
+	// the average, so its join task must be broken up; correctness must
+	// hold regardless.
+	got, st, want := run(t, 20000, 1.0, 3, 2, radix.Config{Threads: 3, Bits1: 5, Bits2: 0})
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	if st.SplitTasks == 0 {
+		t.Error("skewed run should have split tasks")
+	}
+	if st.Tasks <= st.SplitTasks {
+		t.Errorf("tasks %d should exceed splits %d (sub-tasks enqueued)", st.Tasks, st.SplitTasks)
+	}
+}
+
+func TestSplitTasksPreserveResults(t *testing.T) {
+	// With and without splitting must agree bit-for-bit.
+	a, _, want := run(t, 15000, 0.95, 4, 2, radix.Config{Threads: 4, Bits1: 4, Bits2: 2})
+	b, stb, _ := run(t, 15000, 0.95, 4, -1, radix.Config{Threads: 4, Bits1: 4, Bits2: 2})
+	if a != b || a != want {
+		t.Errorf("split %+v vs unsplit %+v vs want %+v", a, b, want)
+	}
+	if stb.SplitTasks != 0 {
+		t.Errorf("splitting disabled but %d splits", stb.SplitTasks)
+	}
+}
+
+func TestEmptyPartitionsSkipped(t *testing.T) {
+	// Tiny input with large fanout: most partitions are empty; no tasks
+	// for them.
+	_, st, _ := run(t, 64, 0, 2, 4, radix.Config{Threads: 2, Bits1: 6, Bits2: 4})
+	if st.Tasks > 64 {
+		t.Errorf("%d tasks for 64 tuples", st.Tasks)
+	}
+}
+
+func TestMaxTaskOutputTracksSkew(t *testing.T) {
+	_, uniform, _ := run(t, 30000, 0, 2, 4, radix.Config{Threads: 2, Bits1: 5, Bits2: 3})
+	_, skewed, _ := run(t, 30000, 1.0, 2, 4, radix.Config{Threads: 2, Bits1: 5, Bits2: 3})
+	if skewed.MaxTaskOutput <= 4*uniform.MaxTaskOutput {
+		t.Errorf("skewed MaxTaskOutput %d should dwarf uniform %d",
+			skewed.MaxTaskOutput, uniform.MaxTaskOutput)
+	}
+	if skewed.MaxChain <= uniform.MaxChain {
+		t.Errorf("skewed MaxChain %d should exceed uniform %d", skewed.MaxChain, uniform.MaxChain)
+	}
+}

@@ -1,0 +1,160 @@
+// Package oracle computes the ground-truth join result summary against
+// which every algorithm in this repository is verified.
+//
+// Materialising the full join output is impossible under high skew (the
+// output is Θ(N²·Σp²) tuples), so the oracle exploits the linearity of the
+// outbuf checksum: grouping by key k with cntR(k)/cntS(k) occurrences and
+// payload sums ΣpR(k)/ΣpS(k),
+//
+//	count    = Σ_k cntR(k)·cntS(k)
+//	checksum = Σ_k [ A·k·cntR(k)·cntS(k)
+//	               + B·ΣpR(k)·cntS(k)
+//	               + C·ΣpS(k)·cntR(k) ]
+//
+// both computable in O(|R| + |S|). For small inputs ReferenceJoin also
+// materialises the output with a nested loop for exact, order-normalised
+// comparison in tests.
+package oracle
+
+import (
+	"sort"
+
+	"skewjoin/internal/exec"
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/relation"
+)
+
+type keyAgg struct {
+	cnt  uint64
+	psum uint64
+}
+
+// Expected returns the exact output count and checksum of the equi-join of
+// r and s under the outbuf checksum definition.
+func Expected(r, s relation.Relation) outbuf.Summary {
+	ra := aggregate(r)
+	sa := aggregate(s)
+	a, bcoef, c := outbuf.ChecksumCoefficients()
+	var sum outbuf.Summary
+	for k, rv := range ra {
+		sv, ok := sa[k]
+		if !ok {
+			continue
+		}
+		pairs := rv.cnt * sv.cnt
+		sum.Count += pairs
+		sum.Checksum += a*uint64(k)*pairs + bcoef*rv.psum*sv.cnt + c*sv.psum*rv.cnt
+	}
+	return sum
+}
+
+func aggregate(r relation.Relation) map[relation.Key]keyAgg {
+	m := make(map[relation.Key]keyAgg, r.Len())
+	for _, t := range r.Tuples {
+		agg := m[t.Key]
+		agg.cnt++
+		agg.psum += uint64(t.Payload)
+		m[t.Key] = agg
+	}
+	return m
+}
+
+// ExpectedParallel is Expected with the per-key aggregation sharded over
+// `threads` workers by key hash: every worker scans both relations but
+// aggregates (and joins) only its own shard of the key space, so the
+// expensive map operations parallelise without any merging. Threads <= 1
+// falls back to Expected.
+func ExpectedParallel(r, s relation.Relation, threads int) outbuf.Summary {
+	if threads <= 1 {
+		return Expected(r, s)
+	}
+	a, bcoef, c := outbuf.ChecksumCoefficients()
+	partial := make([]outbuf.Summary, threads)
+	exec.Parallel(threads, func(w int) {
+		shard := func(k relation.Key) bool {
+			return int(hashfn.Mix32(uint32(k))>>16)%threads == w
+		}
+		ra := make(map[relation.Key]keyAgg, r.Len()/threads+1)
+		for _, t := range r.Tuples {
+			if !shard(t.Key) {
+				continue
+			}
+			agg := ra[t.Key]
+			agg.cnt++
+			agg.psum += uint64(t.Payload)
+			ra[t.Key] = agg
+		}
+		sa := make(map[relation.Key]keyAgg, s.Len()/threads+1)
+		for _, t := range s.Tuples {
+			if !shard(t.Key) {
+				continue
+			}
+			agg := sa[t.Key]
+			agg.cnt++
+			agg.psum += uint64(t.Payload)
+			sa[t.Key] = agg
+		}
+		var sum outbuf.Summary
+		for k, rv := range ra {
+			sv, ok := sa[k]
+			if !ok {
+				continue
+			}
+			pairs := rv.cnt * sv.cnt
+			sum.Count += pairs
+			sum.Checksum += a*uint64(k)*pairs + bcoef*rv.psum*sv.cnt + c*sv.psum*rv.cnt
+		}
+		partial[w] = sum
+	})
+	var total outbuf.Summary
+	for _, p := range partial {
+		total.Count += p.Count
+		total.Checksum += p.Checksum
+	}
+	return total
+}
+
+// ReferenceJoin materialises the full join output with a hash-partitioned
+// nested evaluation. Only for small test inputs: the result is O(output).
+// Results are returned in a canonical sorted order so two materialised
+// outputs can be compared with reflect.DeepEqual regardless of the order an
+// algorithm emitted them in.
+func ReferenceJoin(r, s relation.Relation) []outbuf.Result {
+	byKey := make(map[relation.Key][]relation.Payload, r.Len())
+	for _, t := range r.Tuples {
+		byKey[t.Key] = append(byKey[t.Key], t.Payload)
+	}
+	var out []outbuf.Result
+	for _, ts := range s.Tuples {
+		for _, pr := range byKey[ts.Key] {
+			out = append(out, outbuf.Result{Key: ts.Key, PayloadR: pr, PayloadS: ts.Payload})
+		}
+	}
+	SortResults(out)
+	return out
+}
+
+// SortResults orders results canonically by (key, payloadR, payloadS).
+func SortResults(rs []outbuf.Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Key != rs[j].Key {
+			return rs[i].Key < rs[j].Key
+		}
+		if rs[i].PayloadR != rs[j].PayloadR {
+			return rs[i].PayloadR < rs[j].PayloadR
+		}
+		return rs[i].PayloadS < rs[j].PayloadS
+	})
+}
+
+// SummaryOf computes the outbuf summary of a materialised result set, for
+// cross-checking ReferenceJoin against Expected in the oracle's own tests.
+func SummaryOf(rs []outbuf.Result) outbuf.Summary {
+	var s outbuf.Summary
+	s.Count = uint64(len(rs))
+	for _, t := range rs {
+		s.Checksum += outbuf.ChecksumTerm(t.Key, t.PayloadR, t.PayloadS)
+	}
+	return s
+}

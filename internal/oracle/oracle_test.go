@@ -1,0 +1,154 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+func TestExpectedMatchesReferenceJoin(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1.0} {
+		g := zipf.MustNew(zipf.Config{Theta: theta, Universe: 500, Seed: 1})
+		r, s := g.Pair(2000)
+		want := SummaryOf(ReferenceJoin(r, s))
+		got := Expected(r, s)
+		if got != want {
+			t.Errorf("theta=%g: Expected %+v, reference %+v", theta, got, want)
+		}
+	}
+}
+
+func TestExpectedDisjointKeys(t *testing.T) {
+	r := relation.FromPairs([]relation.Key{1, 2, 3}, []relation.Payload{0, 0, 0})
+	s := relation.FromPairs([]relation.Key{4, 5, 6}, []relation.Payload{0, 0, 0})
+	if got := Expected(r, s); got.Count != 0 || got.Checksum != 0 {
+		t.Errorf("disjoint join: %+v", got)
+	}
+}
+
+func TestExpectedCrossProductSingleKey(t *testing.T) {
+	keys := []relation.Key{9, 9, 9}
+	r := relation.FromPairs(keys, []relation.Payload{1, 2, 3})
+	s := relation.FromPairs(keys[:2], []relation.Payload{10, 20})
+	got := Expected(r, s)
+	if got.Count != 6 {
+		t.Errorf("count = %d, want 6", got.Count)
+	}
+	// Cross-check against brute force.
+	var want outbuf.Summary
+	want.Count = 6
+	for _, pr := range []relation.Payload{1, 2, 3} {
+		for _, ps := range []relation.Payload{10, 20} {
+			want.Checksum += outbuf.ChecksumTerm(9, pr, ps)
+		}
+	}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestExpectedEmpty(t *testing.T) {
+	var empty relation.Relation
+	r := relation.FromPairs([]relation.Key{1}, []relation.Payload{1})
+	if got := Expected(empty, r); got.Count != 0 {
+		t.Errorf("empty R: %+v", got)
+	}
+	if got := Expected(r, empty); got.Count != 0 {
+		t.Errorf("empty S: %+v", got)
+	}
+}
+
+func TestReferenceJoinSorted(t *testing.T) {
+	g := zipf.MustNew(zipf.Config{Theta: 0.8, Universe: 50, Seed: 2})
+	r, s := g.Pair(300)
+	out := ReferenceJoin(r, s)
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if a.Key > b.Key ||
+			(a.Key == b.Key && a.PayloadR > b.PayloadR) ||
+			(a.Key == b.Key && a.PayloadR == b.PayloadR && a.PayloadS > b.PayloadS) {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+}
+
+func TestReferenceJoinSymmetricCardinality(t *testing.T) {
+	// |R ⋈ S| == |S ⋈ R| with swapped payload columns.
+	g := zipf.MustNew(zipf.Config{Theta: 0.6, Universe: 100, Seed: 3})
+	r, s := g.Pair(500)
+	a := ReferenceJoin(r, s)
+	b := ReferenceJoin(s, r)
+	if len(a) != len(b) {
+		t.Errorf("|R⋈S| = %d, |S⋈R| = %d", len(a), len(b))
+	}
+}
+
+func TestExpectedParallelMatchesSerial(t *testing.T) {
+	for _, theta := range []float64{0, 0.7, 1.0} {
+		g := zipf.MustNew(zipf.Config{Theta: theta, Universe: 2000, Seed: 6})
+		r, s := g.Pair(15000)
+		want := Expected(r, s)
+		for _, threads := range []int{1, 2, 5, 8} {
+			if got := ExpectedParallel(r, s, threads); got != want {
+				t.Errorf("theta=%g threads=%d: got %+v, want %+v", theta, threads, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedParallelEmpty(t *testing.T) {
+	var empty relation.Relation
+	if got := ExpectedParallel(empty, empty, 4); got.Count != 0 {
+		t.Errorf("empty: %+v", got)
+	}
+}
+
+func TestQuickExpectedEqualsBruteForce(t *testing.T) {
+	f := func(rKeys, sKeys []uint8) bool {
+		r := relation.New(len(rKeys))
+		for i, k := range rKeys {
+			r.Tuples[i] = relation.Tuple{Key: relation.Key(k % 16), Payload: relation.Payload(i)}
+		}
+		s := relation.New(len(sKeys))
+		for i, k := range sKeys {
+			s.Tuples[i] = relation.Tuple{Key: relation.Key(k % 16), Payload: relation.Payload(i + 100)}
+		}
+		var brute outbuf.Summary
+		for _, tr := range r.Tuples {
+			for _, ts := range s.Tuples {
+				if tr.Key == ts.Key {
+					brute.Count++
+					brute.Checksum += outbuf.ChecksumTerm(tr.Key, tr.Payload, ts.Payload)
+				}
+			}
+		}
+		return Expected(r, s) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortResultsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rs := make([]outbuf.Result, 100)
+	for i := range rs {
+		rs[i] = outbuf.Result{
+			Key:      relation.Key(rng.Intn(10)),
+			PayloadR: relation.Payload(rng.Intn(10)),
+			PayloadS: relation.Payload(rng.Intn(10)),
+		}
+	}
+	SortResults(rs)
+	once := make([]outbuf.Result, len(rs))
+	copy(once, rs)
+	SortResults(rs)
+	if !reflect.DeepEqual(once, rs) {
+		t.Error("SortResults is not idempotent")
+	}
+}

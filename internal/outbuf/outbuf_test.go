@@ -1,0 +1,210 @@
+package outbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skewjoin/internal/relation"
+)
+
+func TestPushCountsAndChecksum(t *testing.T) {
+	b := New(8)
+	var want uint64
+	for i := 0; i < 100; i++ {
+		k := relation.Key(i * 7)
+		pr := relation.Payload(i)
+		ps := relation.Payload(i * 3)
+		b.Push(k, pr, ps)
+		want += ChecksumTerm(k, pr, ps)
+	}
+	if b.Count() != 100 {
+		t.Errorf("count = %d", b.Count())
+	}
+	if b.Checksum() != want {
+		t.Errorf("checksum = %d, want %d", b.Checksum(), want)
+	}
+}
+
+func TestRingOverwritesWhenFull(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Push(relation.Key(i), 0, 0)
+	}
+	if b.Count() != 10 {
+		t.Errorf("count = %d, want 10 despite overwrites", b.Count())
+	}
+	last := b.Last(4)
+	if len(last) != 4 {
+		t.Fatalf("Last returned %d results", len(last))
+	}
+	for i, r := range last {
+		if want := relation.Key(6 + i); r.Key != want {
+			t.Errorf("last[%d].Key = %d, want %d", i, r.Key, want)
+		}
+	}
+}
+
+func TestLastFewerThanRequested(t *testing.T) {
+	b := New(16)
+	b.Push(1, 2, 3)
+	b.Push(4, 5, 6)
+	last := b.Last(10)
+	if len(last) != 2 {
+		t.Fatalf("Last(10) returned %d results", len(last))
+	}
+	if last[0].Key != 1 || last[1].Key != 4 {
+		t.Errorf("Last order wrong: %+v", last)
+	}
+}
+
+func TestPushRunEquivalentToPushes(t *testing.T) {
+	rps := []relation.Payload{10, 20, 30, 40, 50}
+	a := New(16)
+	for _, pr := range rps {
+		a.Push(99, pr, 7)
+	}
+	b := New(16)
+	b.PushRun(99, rps, 7)
+	if a.Count() != b.Count() || a.Checksum() != b.Checksum() {
+		t.Errorf("PushRun diverges: (%d,%d) vs (%d,%d)", a.Count(), a.Checksum(), b.Count(), b.Checksum())
+	}
+}
+
+func TestPushRunSEquivalentToPushes(t *testing.T) {
+	sps := []relation.Payload{1, 2, 3, 4}
+	a := New(16)
+	for _, ps := range sps {
+		a.Push(5, 77, ps)
+	}
+	b := New(16)
+	b.PushRunS(5, 77, sps)
+	if a.Count() != b.Count() || a.Checksum() != b.Checksum() {
+		t.Errorf("PushRunS diverges: (%d,%d) vs (%d,%d)", a.Count(), a.Checksum(), b.Count(), b.Checksum())
+	}
+}
+
+func TestPushRunEmpty(t *testing.T) {
+	b := New(4)
+	b.PushRun(1, nil, 2)
+	b.PushRunS(1, 2, nil)
+	if b.Count() != 0 || b.Checksum() != 0 {
+		t.Errorf("empty runs changed state: %d, %d", b.Count(), b.Checksum())
+	}
+}
+
+func TestMergeAndSummarize(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Push(1, 2, 3)
+	b.Push(4, 5, 6)
+	b.Push(7, 8, 9)
+	sum := Summarize([]*Buffer{a, b})
+	if sum.Count != 3 {
+		t.Errorf("count = %d", sum.Count)
+	}
+	want := ChecksumTerm(1, 2, 3) + ChecksumTerm(4, 5, 6) + ChecksumTerm(7, 8, 9)
+	if sum.Checksum != want {
+		t.Errorf("checksum = %d, want %d", sum.Checksum, want)
+	}
+	a.Merge(b)
+	if a.Count() != 3 || a.Checksum() != want {
+		t.Errorf("Merge: count %d checksum %d", a.Count(), a.Checksum())
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	a, b := New(8), New(8)
+	a.Push(1, 2, 3)
+	a.Push(4, 5, 6)
+	b.Push(4, 5, 6)
+	b.Push(1, 2, 3)
+	if a.Checksum() != b.Checksum() {
+		t.Error("checksum depends on order")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(0)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		b.Push(relation.Key(i), 0, 0)
+	}
+	if b.Count() != DefaultCapacity+10 {
+		t.Errorf("count = %d", b.Count())
+	}
+}
+
+func TestFlushDeliversEveryResultExactlyOnce(t *testing.T) {
+	b := New(8)
+	var delivered []Result
+	b.SetFlush(func(batch []Result) {
+		delivered = append(delivered, batch...)
+	})
+	for i := 0; i < 19; i++ {
+		b.Push(relation.Key(i), relation.Payload(i), 0)
+	}
+	b.PushRun(99, []relation.Payload{1, 2, 3, 4, 5}, 7)
+	b.PushRunS(98, 6, []relation.Payload{8, 9})
+	b.Flush()
+	want := int(b.Count())
+	if len(delivered) != want {
+		t.Fatalf("delivered %d results, want %d", len(delivered), want)
+	}
+	// Order within the stream is the emission order.
+	for i := 0; i < 19; i++ {
+		if delivered[i].Key != relation.Key(i) {
+			t.Fatalf("delivered[%d].Key = %d", i, delivered[i].Key)
+		}
+	}
+	if delivered[19].Key != 99 || delivered[24].Key != 98 {
+		t.Errorf("run results out of order: %+v", delivered[19:])
+	}
+}
+
+func TestFlushNoConsumerIsOverwrite(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 9; i++ {
+		b.Push(relation.Key(i), 0, 0)
+	}
+	b.Flush() // no-op without a consumer
+	if b.Count() != 9 {
+		t.Errorf("count = %d", b.Count())
+	}
+}
+
+func TestFlushEmptyTail(t *testing.T) {
+	b := New(4)
+	calls := 0
+	b.SetFlush(func(batch []Result) { calls++ })
+	for i := 0; i < 8; i++ { // exactly two full rings
+		b.Push(1, 2, 3)
+	}
+	b.Flush()
+	if calls != 2 {
+		t.Errorf("flush called %d times, want 2 (no empty tail delivery)", calls)
+	}
+}
+
+func TestQuickRunEquivalence(t *testing.T) {
+	// Property: bulk emission is indistinguishable from repeated Push for
+	// any key/payload values.
+	f := func(k uint32, common uint32, payloads []uint32) bool {
+		a, b, c := New(8), New(8), New(8)
+		ps := make([]relation.Payload, len(payloads))
+		for i, p := range payloads {
+			ps[i] = relation.Payload(p)
+			a.Push(relation.Key(k), relation.Payload(p), relation.Payload(common))
+		}
+		b.PushRun(relation.Key(k), ps, relation.Payload(common))
+		if a.Count() != b.Count() || a.Checksum() != b.Checksum() {
+			return false
+		}
+		a2 := New(8)
+		for _, p := range ps {
+			a2.Push(relation.Key(k), relation.Payload(common), p)
+		}
+		c.PushRunS(relation.Key(k), relation.Payload(common), ps)
+		return a2.Count() == c.Count() && a2.Checksum() == c.Checksum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,20 @@
+package radix
+
+import "testing"
+
+func TestClampBits(t *testing.T) {
+	cases := []struct{ b1, b2, w1, w2 uint32 }{
+		{6, 5, 6, 5},
+		{20, 0, 20, 0},
+		{25, 0, 20, 0},
+		{30, 30, 20, 0},
+		{12, 12, 12, 8},
+		{0, 25, 0, 20},
+	}
+	for _, c := range cases {
+		g1, g2 := ClampBits(c.b1, c.b2)
+		if g1 != c.w1 || g2 != c.w2 {
+			t.Errorf("ClampBits(%d, %d) = (%d, %d), want (%d, %d)", c.b1, c.b2, g1, g2, c.w1, c.w2)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package relation
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := FromPairs([]Key{1, 2, 3, 1 << 30}, []Payload{9, 8, 7, 6})
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(headerSize + 4*TupleSize); n != want {
+		t.Errorf("wrote %d bytes, want %d", n, want)
+	}
+	var got Relation
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), r.Len())
+	}
+	for i := range r.Tuples {
+		if got.Tuples[i] != r.Tuples[i] {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, got.Tuples[i], r.Tuples[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var r, got Relation
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("len = %d", got.Len())
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var got Relation
+	if _, err := got.ReadFrom(strings.NewReader("NOPE************")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	r := FromPairs([]Key{1}, []Payload{1})
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99
+	var got Relation
+	if _, err := got.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	r := FromPairs([]Key{1, 2, 3}, []Payload{1, 2, 3})
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-5]
+	var got Relation
+	if _, err := got.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestReadRejectsImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	r := FromPairs(nil, nil)
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Patch the count to something absurd.
+	for i := 8; i < 16; i++ {
+		b[i] = 0xFF
+	}
+	var got Relation
+	if _, err := got.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.skjr")
+	r := FromPairs([]Key{5, 6}, []Payload{50, 60})
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Tuples[0] != r.Tuples[0] || got.Tuples[1] != r.Tuples[1] {
+		t.Errorf("loaded %+v", got.Tuples)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.skjr")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+var _ io.WriterTo = Relation{}
+var _ io.ReaderFrom = &Relation{}

@@ -1,0 +1,133 @@
+// Package relation defines the tuple and relation model shared by every
+// join algorithm in this repository.
+//
+// Following the paper's workload (§III, §V-A), a tuple is a pair of a 4-byte
+// join key and a 4-byte payload, so a Tuple occupies exactly 8 bytes and a
+// relation is a flat slice of tuples. All algorithms treat relations as
+// read-only inputs; partitioning phases copy tuples into scratch space owned
+// by the algorithm.
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Key is a 4-byte join key.
+type Key uint32
+
+// Payload is a 4-byte record identifier / payload column.
+type Payload uint32
+
+// Tuple is an 8-byte (key, payload) pair, matching the paper's workload.
+type Tuple struct {
+	Key     Key
+	Payload Payload
+}
+
+// TupleSize is the in-memory size of one tuple in bytes. The GPU cost model
+// uses it to convert tuple counts into memory traffic.
+const TupleSize = 8
+
+// Relation is an in-memory table of tuples.
+type Relation struct {
+	Tuples []Tuple
+}
+
+// Len returns the number of tuples in the relation.
+func (r Relation) Len() int { return len(r.Tuples) }
+
+// Bytes returns the total in-memory size of the relation's tuples.
+func (r Relation) Bytes() int { return len(r.Tuples) * TupleSize }
+
+// New returns a relation backed by a freshly allocated slice of n tuples.
+func New(n int) Relation {
+	return Relation{Tuples: make([]Tuple, n)}
+}
+
+// FromPairs builds a relation from parallel key/payload slices.
+// It panics if the slices have different lengths.
+func FromPairs(keys []Key, payloads []Payload) Relation {
+	if len(keys) != len(payloads) {
+		panic(fmt.Sprintf("relation: %d keys but %d payloads", len(keys), len(payloads)))
+	}
+	r := New(len(keys))
+	for i := range keys {
+		r.Tuples[i] = Tuple{Key: keys[i], Payload: payloads[i]}
+	}
+	return r
+}
+
+// Clone returns a deep copy of the relation.
+func (r Relation) Clone() Relation {
+	c := New(r.Len())
+	copy(c.Tuples, r.Tuples)
+	return c
+}
+
+// Keys returns a copy of the key column.
+func (r Relation) Keys() []Key {
+	ks := make([]Key, r.Len())
+	for i, t := range r.Tuples {
+		ks[i] = t.Key
+	}
+	return ks
+}
+
+// SequentialPayloads overwrites the payload column with 0..n-1. Benchmarks
+// use it so payload sums are deterministic regardless of the key generator.
+func (r Relation) SequentialPayloads() {
+	for i := range r.Tuples {
+		r.Tuples[i].Payload = Payload(i)
+	}
+}
+
+// Shuffle permutes the tuples of the relation using rng. Partitioned joins
+// must produce identical results on any permutation of their inputs; tests
+// rely on this helper to check that invariant.
+func (r Relation) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(r.Len(), func(i, j int) {
+		r.Tuples[i], r.Tuples[j] = r.Tuples[j], r.Tuples[i]
+	})
+}
+
+// Stats summarises the key distribution of a relation. It is what the
+// paper's skew discussion (§III) talks about: how many tuples share the most
+// popular key, and how many distinct keys exist.
+type Stats struct {
+	Tuples       int
+	DistinctKeys int
+	MaxKeyFreq   int    // number of tuples sharing the most popular key
+	MaxKey       Key    // the most popular key
+	PayloadSum   uint64 // sum of payload column, for cheap integrity checks
+}
+
+// ComputeStats scans the relation once and returns its key distribution
+// statistics.
+func ComputeStats(r Relation) Stats {
+	freq := make(map[Key]int, r.Len())
+	var s Stats
+	s.Tuples = r.Len()
+	for _, t := range r.Tuples {
+		freq[t.Key]++
+		s.PayloadSum += uint64(t.Payload)
+	}
+	s.DistinctKeys = len(freq)
+	for k, f := range freq {
+		if f > s.MaxKeyFreq || (f == s.MaxKeyFreq && k < s.MaxKey) {
+			s.MaxKeyFreq = f
+			s.MaxKey = k
+		}
+	}
+	return s
+}
+
+// KeyFrequencies returns the exact frequency of every key in the relation.
+// The skew-detection ablations compare sampled estimates against it.
+func KeyFrequencies(r Relation) map[Key]int {
+	freq := make(map[Key]int, r.Len())
+	for _, t := range r.Tuples {
+		freq[t.Key]++
+	}
+	return freq
+}

@@ -1,0 +1,126 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromPairsAndAccessors(t *testing.T) {
+	r := FromPairs([]Key{3, 1, 2}, []Payload{30, 10, 20})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Bytes() != 3*TupleSize {
+		t.Errorf("Bytes = %d", r.Bytes())
+	}
+	ks := r.Keys()
+	if ks[0] != 3 || ks[1] != 1 || ks[2] != 2 {
+		t.Errorf("Keys = %v", ks)
+	}
+}
+
+func TestFromPairsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched lengths")
+		}
+	}()
+	FromPairs([]Key{1}, []Payload{1, 2})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := FromPairs([]Key{1, 2}, []Payload{10, 20})
+	c := r.Clone()
+	c.Tuples[0].Key = 99
+	if r.Tuples[0].Key != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestSequentialPayloads(t *testing.T) {
+	r := New(5)
+	r.SequentialPayloads()
+	for i, tp := range r.Tuples {
+		if tp.Payload != Payload(i) {
+			t.Errorf("payload[%d] = %d", i, tp.Payload)
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := FromPairs([]Key{1, 2, 3, 4, 5}, []Payload{1, 2, 3, 4, 5})
+	before := ComputeStats(r)
+	r.Shuffle(rand.New(rand.NewSource(1)))
+	after := ComputeStats(r)
+	if before != after {
+		t.Errorf("stats changed: %+v -> %+v", before, after)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	r := FromPairs(
+		[]Key{7, 7, 7, 3, 3, 9},
+		[]Payload{1, 2, 3, 4, 5, 6},
+	)
+	st := ComputeStats(r)
+	if st.Tuples != 6 || st.DistinctKeys != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxKey != 7 || st.MaxKeyFreq != 3 {
+		t.Errorf("top key = %d (freq %d)", st.MaxKey, st.MaxKeyFreq)
+	}
+	if st.PayloadSum != 21 {
+		t.Errorf("payload sum = %d", st.PayloadSum)
+	}
+}
+
+func TestComputeStatsTieBreak(t *testing.T) {
+	r := FromPairs([]Key{5, 5, 2, 2}, []Payload{0, 0, 0, 0})
+	st := ComputeStats(r)
+	if st.MaxKey != 2 {
+		t.Errorf("tie should pick the smaller key, got %d", st.MaxKey)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	var r Relation
+	st := ComputeStats(r)
+	if st.Tuples != 0 || st.DistinctKeys != 0 || st.MaxKeyFreq != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestKeyFrequencies(t *testing.T) {
+	r := FromPairs([]Key{1, 1, 2}, []Payload{0, 0, 0})
+	f := KeyFrequencies(r)
+	if f[1] != 2 || f[2] != 1 || len(f) != 2 {
+		t.Errorf("frequencies = %v", f)
+	}
+}
+
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(keys []uint16) bool {
+		r := New(len(keys))
+		for i, k := range keys {
+			r.Tuples[i] = Tuple{Key: Key(k), Payload: Payload(i)}
+		}
+		st := ComputeStats(r)
+		freq := KeyFrequencies(r)
+		if st.DistinctKeys != len(freq) {
+			return false
+		}
+		total := 0
+		maxf := 0
+		for _, f := range freq {
+			total += f
+			if f > maxf {
+				maxf = f
+			}
+		}
+		return total == st.Tuples && maxf == st.MaxKeyFreq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

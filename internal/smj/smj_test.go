@@ -1,0 +1,149 @@
+package smj
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"skewjoin/internal/oracle"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+func workload(t *testing.T, n int, theta float64, seed int64) (relation.Relation, relation.Relation) {
+	t.Helper()
+	g, err := zipf.New(zipf.Config{Theta: theta, Universe: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(n)
+	return r, s
+}
+
+func TestSortByKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tuples := make([]relation.Tuple, 10000)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{Key: relation.Key(rng.Uint32()), Payload: relation.Payload(i)}
+	}
+	for _, threads := range []int{1, 4} {
+		got := SortByKey(tuples, threads)
+		if len(got) != len(tuples) {
+			t.Fatalf("threads=%d: length %d", threads, len(got))
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+			t.Fatalf("threads=%d: not sorted", threads)
+		}
+		// Multiset preserved: payload sums and counts match.
+		var sumIn, sumOut uint64
+		for i := range tuples {
+			sumIn += uint64(tuples[i].Payload)
+			sumOut += uint64(got[i].Payload)
+		}
+		if sumIn != sumOut {
+			t.Fatalf("threads=%d: payloads lost", threads)
+		}
+	}
+}
+
+func TestSortStableForEqualKeys(t *testing.T) {
+	tuples := make([]relation.Tuple, 100)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{Key: relation.Key(i % 3), Payload: relation.Payload(i)}
+	}
+	got := SortByKey(tuples, 2)
+	// Within each key, payloads must appear in input order (LSD stability).
+	last := map[relation.Key]relation.Payload{}
+	for _, tp := range got {
+		if prev, ok := last[tp.Key]; ok && tp.Payload < prev {
+			t.Fatalf("key %d: payload %d after %d — not stable", tp.Key, tp.Payload, prev)
+		}
+		last[tp.Key] = tp.Payload
+	}
+}
+
+func TestJoinMatchesOracleAcrossSkew(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1.0} {
+		r, s := workload(t, 20000, theta, 42)
+		want := oracle.Expected(r, s)
+		got := Join(r, s, Config{Threads: 4})
+		if got.Summary != want {
+			t.Errorf("theta=%.2f: got %+v, want %+v", theta, got.Summary, want)
+		}
+	}
+}
+
+func TestThreadCountInvariance(t *testing.T) {
+	r, s := workload(t, 15000, 0.95, 9)
+	want := oracle.Expected(r, s)
+	for _, threads := range []int{1, 2, 7, 16} {
+		if got := Join(r, s, Config{Threads: threads}).Summary; got != want {
+			t.Errorf("threads=%d: got %+v, want %+v", threads, got, want)
+		}
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	var empty relation.Relation
+	r, s := workload(t, 1000, 0.8, 7)
+	if res := Join(empty, s, Config{Threads: 2}); res.Summary.Count != 0 {
+		t.Errorf("empty R: %d results", res.Summary.Count)
+	}
+	if res := Join(r, empty, Config{Threads: 2}); res.Summary.Count != 0 {
+		t.Errorf("empty S: %d results", res.Summary.Count)
+	}
+}
+
+func TestSingleHotKeyAcrossWorkers(t *testing.T) {
+	// Every tuple shares one key: the run must not be split by the worker
+	// cuts, and the cross product must be exact.
+	n := 400
+	keys := make([]relation.Key, n)
+	pays := make([]relation.Payload, n)
+	for i := range keys {
+		keys[i] = 7
+		pays[i] = relation.Payload(i)
+	}
+	r := relation.FromPairs(keys, pays)
+	s := relation.FromPairs(keys, pays)
+	res := Join(r, s, Config{Threads: 8})
+	if res.Summary.Count != uint64(n)*uint64(n) {
+		t.Errorf("count = %d, want %d", res.Summary.Count, n*n)
+	}
+	if res.Summary != oracle.Expected(r, s) {
+		t.Error("checksum mismatch")
+	}
+	if res.Stats.Runs != 1 {
+		t.Errorf("runs = %d, want 1", res.Stats.Runs)
+	}
+	if res.Stats.MaxRunPair != n*n {
+		t.Errorf("MaxRunPair = %d, want %d", res.Stats.MaxRunPair, n*n)
+	}
+}
+
+func TestPhasesRecorded(t *testing.T) {
+	r, s := workload(t, 5000, 0.5, 13)
+	res := Join(r, s, Config{Threads: 2})
+	if len(res.Phases) != 2 || res.Phases[0].Name != "sort" || res.Phases[1].Name != "merge" {
+		t.Errorf("phases = %+v", res.Phases)
+	}
+}
+
+func TestQuickJoinMatchesOracle(t *testing.T) {
+	f := func(rKeys, sKeys []uint8, threadsRaw uint8) bool {
+		r := relation.New(len(rKeys))
+		for i, k := range rKeys {
+			r.Tuples[i] = relation.Tuple{Key: relation.Key(k % 32), Payload: relation.Payload(i)}
+		}
+		s := relation.New(len(sKeys))
+		for i, k := range sKeys {
+			s.Tuples[i] = relation.Tuple{Key: relation.Key(k % 32), Payload: relation.Payload(i + 500)}
+		}
+		threads := int(threadsRaw%8) + 1
+		return Join(r, s, Config{Threads: threads}).Summary == oracle.Expected(r, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

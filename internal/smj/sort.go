@@ -1,0 +1,68 @@
+package smj
+
+import (
+	"skewjoin/internal/exec"
+	"skewjoin/internal/relation"
+)
+
+// SortByKey sorts tuples by raw key with a parallel LSD radix sort:
+// four passes over one byte of the key each, every pass a segment-parallel
+// count-then-scatter identical in structure to the radix partitioner
+// (per-thread histograms, prefix sums, contention-free writes). LSD passes
+// are stable, so ties keep their input order and the sort is O(n) per
+// pass, skew-independent — exactly why the sort phase of a sort-merge join
+// stays flat as skew grows.
+func SortByKey(tuples []relation.Tuple, threads int) []relation.Tuple {
+	if threads <= 0 {
+		threads = 1
+	}
+	n := len(tuples)
+	src := make([]relation.Tuple, n)
+	copy(src, tuples)
+	dst := make([]relation.Tuple, n)
+
+	for pass := 0; pass < 4; pass++ {
+		shift := uint32(8 * pass)
+		radixSortPass(src, dst, shift, threads)
+		src, dst = dst, src
+	}
+	return src
+}
+
+// radixSortPass scatters src into dst ordered by byte (key >> shift).
+func radixSortPass(src, dst []relation.Tuple, shift uint32, threads int) {
+	const buckets = 256
+	hist := make([][]int, threads)
+	exec.Parallel(threads, func(w int) {
+		h := make([]int, buckets)
+		lo, hi := exec.Segment(len(src), threads, w)
+		for _, t := range src[lo:hi] {
+			h[(uint32(t.Key)>>shift)&0xFF]++
+		}
+		hist[w] = h
+	})
+
+	// Bucket-major, thread-minor prefix sums give every thread a private
+	// window per bucket.
+	cursor := make([][]int, threads)
+	for w := range cursor {
+		cursor[w] = make([]int, buckets)
+	}
+	pos := 0
+	for b := 0; b < buckets; b++ {
+		for w := 0; w < threads; w++ {
+			cursor[w][b] = pos
+			pos += hist[w][b]
+		}
+	}
+
+	exec.Parallel(threads, func(w int) {
+		cur := cursor[w]
+		lo, hi := exec.Segment(len(src), threads, w)
+		for _, t := range src[lo:hi] {
+			b := (uint32(t.Key) >> shift) & 0xFF
+			dst[cur[b]] = t
+			cur[b]++
+		}
+	})
+}

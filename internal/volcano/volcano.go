@@ -1,0 +1,221 @@
+// Package volcano provides a small push-based query-operator layer on top
+// of the join algorithms, making the paper's output-consumption model
+// concrete: "in the volcano-style query processing, the join output is
+// often consumed by an upper level query operator" (§III).
+//
+// Pre-join operators (Scan, Filter, Map) are tuple-level and produce the
+// relations a join consumes. Post-join operators are batch consumers: the
+// join algorithms hand them every full output ring (outbuf.FlushFunc), so
+// consumption is amortised over ring-sized batches exactly as the paper's
+// overwrite-when-full buffers imply. Each worker gets its own consumer
+// instance; Merge combines them after the join.
+package volcano
+
+import (
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/relation"
+)
+
+// Scan is the leaf operator: a relation source with optional row-level
+// transformations applied lazily when the pipeline is materialised.
+type Scan struct {
+	src     relation.Relation
+	filters []func(relation.Tuple) bool
+	maps    []func(relation.Tuple) relation.Tuple
+}
+
+// NewScan returns a scan over r. r is not copied until Materialize.
+func NewScan(r relation.Relation) *Scan {
+	return &Scan{src: r}
+}
+
+// Filter appends a predicate; tuples failing it are dropped.
+func (s *Scan) Filter(pred func(relation.Tuple) bool) *Scan {
+	s.filters = append(s.filters, pred)
+	return s
+}
+
+// Map appends a per-tuple transformation (e.g. key extraction or payload
+// projection), applied after the filters registered so far.
+func (s *Scan) Map(fn func(relation.Tuple) relation.Tuple) *Scan {
+	s.maps = append(s.maps, fn)
+	return s
+}
+
+// Materialize evaluates the pipeline into a relation ready for a join.
+func (s *Scan) Materialize() relation.Relation {
+	out := relation.Relation{Tuples: make([]relation.Tuple, 0, s.src.Len())}
+next:
+	for _, t := range s.src.Tuples {
+		for _, f := range s.filters {
+			if !f(t) {
+				continue next
+			}
+		}
+		for _, m := range s.maps {
+			t = m(t)
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// Consumer is an upper operator fed with join-output batches. One instance
+// per worker; Merge folds another worker's instance into this one.
+type Consumer interface {
+	Consume(batch []outbuf.Result)
+	Merge(other Consumer)
+}
+
+// Sink adapts a Consumer to the per-worker outbuf.FlushFunc factory the
+// join algorithms take, allocating one consumer per worker via fresh. The
+// returned collect function merges all per-worker consumers into the
+// provided root consumer; call it after the join returns.
+func Sink(root Consumer, fresh func() Consumer) (factory func(worker int) outbuf.FlushFunc, collect func()) {
+	var workers []Consumer
+	factory = func(worker int) outbuf.FlushFunc {
+		for len(workers) <= worker {
+			workers = append(workers, fresh())
+		}
+		c := workers[worker]
+		return c.Consume
+	}
+	collect = func() {
+		for _, c := range workers {
+			root.Merge(c)
+		}
+	}
+	return factory, collect
+}
+
+// SumAggregate computes SUM over an expression of each result tuple.
+type SumAggregate struct {
+	Expr func(outbuf.Result) uint64
+	Sum  uint64
+	Rows uint64
+}
+
+// NewSum returns a SUM aggregate over expr.
+func NewSum(expr func(outbuf.Result) uint64) *SumAggregate {
+	return &SumAggregate{Expr: expr}
+}
+
+// Consume implements Consumer.
+func (a *SumAggregate) Consume(batch []outbuf.Result) {
+	var s uint64
+	for _, r := range batch {
+		s += a.Expr(r)
+	}
+	a.Sum += s
+	a.Rows += uint64(len(batch))
+}
+
+// Merge implements Consumer.
+func (a *SumAggregate) Merge(other Consumer) {
+	o := other.(*SumAggregate)
+	a.Sum += o.Sum
+	a.Rows += o.Rows
+}
+
+// GroupSum computes SUM(expr) GROUP BY join key over the output stream.
+// Memory is O(distinct output keys); under skew the output concentrates on
+// few keys, under uniform data it is bounded by the key universe.
+type GroupSum struct {
+	Expr   func(outbuf.Result) uint64
+	Groups map[relation.Key]uint64
+}
+
+// NewGroupSum returns a grouped SUM aggregate over expr.
+func NewGroupSum(expr func(outbuf.Result) uint64) *GroupSum {
+	return &GroupSum{Expr: expr, Groups: make(map[relation.Key]uint64)}
+}
+
+// Consume implements Consumer.
+func (g *GroupSum) Consume(batch []outbuf.Result) {
+	for _, r := range batch {
+		g.Groups[r.Key] += g.Expr(r)
+	}
+}
+
+// Merge implements Consumer.
+func (g *GroupSum) Merge(other Consumer) {
+	for k, v := range other.(*GroupSum).Groups {
+		g.Groups[k] += v
+	}
+}
+
+// TopKeys tracks the heaviest join keys in the output (count per key over
+// a bounded set of counters) — a cheap HeavyHitters upper operator using
+// the Misra-Gries summary, which is exact for the heavy keys skewed joins
+// produce.
+type TopKeys struct {
+	k        int
+	counters map[relation.Key]uint64
+}
+
+// NewTopKeys returns a heavy-hitter tracker with capacity k (counters for
+// up to 8k keys are kept between decrements).
+func NewTopKeys(k int) *TopKeys {
+	if k < 1 {
+		k = 1
+	}
+	return &TopKeys{k: k, counters: make(map[relation.Key]uint64, 8*k)}
+}
+
+// Consume implements Consumer (Misra-Gries update per result).
+func (t *TopKeys) Consume(batch []outbuf.Result) {
+	limit := 8 * t.k
+	for _, r := range batch {
+		if _, ok := t.counters[r.Key]; ok || len(t.counters) < limit {
+			t.counters[r.Key]++
+			continue
+		}
+		for key := range t.counters {
+			t.counters[key]--
+			if t.counters[key] == 0 {
+				delete(t.counters, key)
+			}
+		}
+	}
+}
+
+// Merge implements Consumer.
+func (t *TopKeys) Merge(other Consumer) {
+	for key, c := range other.(*TopKeys).counters {
+		t.counters[key] += c
+	}
+}
+
+// Heaviest returns up to k (key, weight) pairs with the largest retained
+// weights, heaviest first. Weights are Misra-Gries lower bounds, exact for
+// keys dominating the output.
+func (t *TopKeys) Heaviest() []KeyWeight {
+	out := make([]KeyWeight, 0, len(t.counters))
+	for key, c := range t.counters {
+		out = append(out, KeyWeight{Key: key, Weight: c})
+	}
+	// Insertion sort by descending weight with deterministic tie-break;
+	// the set is small (<= 8k entries).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j-1], out[j]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > t.k {
+		out = out[:t.k]
+	}
+	return out
+}
+
+func less(a, b KeyWeight) bool {
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	return a.Key > b.Key
+}
+
+// KeyWeight is a heavy-hitter entry.
+type KeyWeight struct {
+	Key    relation.Key
+	Weight uint64
+}

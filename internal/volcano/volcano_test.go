@@ -1,0 +1,248 @@
+package volcano
+
+import (
+	"testing"
+
+	"skewjoin/internal/cbase"
+	"skewjoin/internal/csh"
+	"skewjoin/internal/gbase"
+	"skewjoin/internal/gsh"
+	"skewjoin/internal/npj"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/smj"
+	"skewjoin/internal/zipf"
+)
+
+func workload(t *testing.T, n int, theta float64) (relation.Relation, relation.Relation) {
+	t.Helper()
+	g, err := zipf.New(zipf.Config{Theta: theta, Universe: n, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(n)
+	return r, s
+}
+
+// expectedPayloadSum computes SUM(payloadR + payloadS) over the join output
+// in closed form from per-key aggregates.
+func expectedPayloadSum(r, s relation.Relation) (sum, rows uint64) {
+	type agg struct {
+		cnt  uint64
+		psum uint64
+	}
+	ra := map[relation.Key]agg{}
+	for _, t := range r.Tuples {
+		a := ra[t.Key]
+		a.cnt++
+		a.psum += uint64(t.Payload)
+		ra[t.Key] = a
+	}
+	sa := map[relation.Key]agg{}
+	for _, t := range s.Tuples {
+		a := sa[t.Key]
+		a.cnt++
+		a.psum += uint64(t.Payload)
+		sa[t.Key] = a
+	}
+	for k, rv := range ra {
+		sv, ok := sa[k]
+		if !ok {
+			continue
+		}
+		rows += rv.cnt * sv.cnt
+		sum += rv.psum*sv.cnt + sv.psum*rv.cnt
+	}
+	return sum, rows
+}
+
+func sumExpr(res outbuf.Result) uint64 {
+	return uint64(res.PayloadR) + uint64(res.PayloadS)
+}
+
+func TestScanFilterMap(t *testing.T) {
+	r := relation.FromPairs(
+		[]relation.Key{1, 2, 3, 4, 5, 6},
+		[]relation.Payload{10, 20, 30, 40, 50, 60},
+	)
+	out := NewScan(r).
+		Filter(func(t relation.Tuple) bool { return t.Key%2 == 0 }).
+		Map(func(t relation.Tuple) relation.Tuple {
+			t.Payload *= 2
+			return t
+		}).
+		Materialize()
+	if out.Len() != 3 {
+		t.Fatalf("filtered to %d tuples, want 3", out.Len())
+	}
+	for _, tp := range out.Tuples {
+		if tp.Key%2 != 0 {
+			t.Errorf("key %d passed the filter", tp.Key)
+		}
+		if uint32(tp.Payload) != uint32(tp.Key)*20 {
+			t.Errorf("payload %d for key %d: map not applied", tp.Payload, tp.Key)
+		}
+	}
+}
+
+func TestScanNoOps(t *testing.T) {
+	r := relation.FromPairs([]relation.Key{7}, []relation.Payload{8})
+	out := NewScan(r).Materialize()
+	if out.Len() != 1 || out.Tuples[0] != r.Tuples[0] {
+		t.Errorf("identity scan changed data: %+v", out.Tuples)
+	}
+}
+
+func TestSumAggregateThroughCSH(t *testing.T) {
+	r, s := workload(t, 30000, 0.95)
+	wantSum, wantRows := expectedPayloadSum(r, s)
+
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	res := csh.Join(r, s, csh.Config{Threads: 3, Flush: factory, OutBufCap: 512})
+	collect()
+
+	if root.Rows != wantRows || root.Rows != res.Summary.Count {
+		t.Errorf("rows = %d, want %d (join reported %d)", root.Rows, wantRows, res.Summary.Count)
+	}
+	if root.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", root.Sum, wantSum)
+	}
+}
+
+func TestSumAggregateThroughCbase(t *testing.T) {
+	r, s := workload(t, 20000, 0.5)
+	wantSum, wantRows := expectedPayloadSum(r, s)
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	cbase.Join(r, s, cbase.Config{Threads: 2, Flush: factory})
+	collect()
+	if root.Rows != wantRows || root.Sum != wantSum {
+		t.Errorf("got (%d, %d), want (%d, %d)", root.Rows, root.Sum, wantRows, wantSum)
+	}
+}
+
+func TestSumAggregateThroughGSH(t *testing.T) {
+	r, s := workload(t, 25000, 1.0)
+	wantSum, wantRows := expectedPayloadSum(r, s)
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	gsh.Join(r, s, gsh.Config{Flush: factory})
+	collect()
+	if root.Rows != wantRows || root.Sum != wantSum {
+		t.Errorf("got (%d, %d), want (%d, %d)", root.Rows, root.Sum, wantRows, wantSum)
+	}
+}
+
+func TestSumAggregateThroughNPJ(t *testing.T) {
+	r, s := workload(t, 12000, 0.7)
+	wantSum, wantRows := expectedPayloadSum(r, s)
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	npj.Join(r, s, npj.Config{Threads: 4, Flush: factory})
+	collect()
+	if root.Rows != wantRows || root.Sum != wantSum {
+		t.Errorf("got (%d, %d), want (%d, %d)", root.Rows, root.Sum, wantRows, wantSum)
+	}
+}
+
+func TestSumAggregateThroughSMJ(t *testing.T) {
+	r, s := workload(t, 12000, 1.0)
+	wantSum, wantRows := expectedPayloadSum(r, s)
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	smj.Join(r, s, smj.Config{Threads: 3, Flush: factory})
+	collect()
+	if root.Rows != wantRows || root.Sum != wantSum {
+		t.Errorf("got (%d, %d), want (%d, %d)", root.Rows, root.Sum, wantRows, wantSum)
+	}
+}
+
+func TestSumAggregateThroughGbase(t *testing.T) {
+	r, s := workload(t, 12000, 0.9)
+	wantSum, wantRows := expectedPayloadSum(r, s)
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	gbase.Join(r, s, gbase.Config{Flush: factory})
+	collect()
+	if root.Rows != wantRows || root.Sum != wantSum {
+		t.Errorf("got (%d, %d), want (%d, %d)", root.Rows, root.Sum, wantRows, wantSum)
+	}
+}
+
+func TestGroupSumMatchesClosedForm(t *testing.T) {
+	r, s := workload(t, 15000, 0.9)
+	root := NewGroupSum(func(res outbuf.Result) uint64 { return 1 }) // COUNT per key
+	factory, collect := Sink(root, func() Consumer {
+		return NewGroupSum(func(res outbuf.Result) uint64 { return 1 })
+	})
+	res := csh.Join(r, s, csh.Config{Threads: 3, Flush: factory})
+	collect()
+
+	// Per-key output counts must equal cntR(k)*cntS(k).
+	fr := relation.KeyFrequencies(r)
+	fs := relation.KeyFrequencies(s)
+	var total uint64
+	for k, want := range fr {
+		exp := uint64(want) * uint64(fs[k])
+		if exp == 0 {
+			continue
+		}
+		if got := root.Groups[k]; got != exp {
+			t.Fatalf("key %d: group count %d, want %d", k, got, exp)
+		}
+		total += exp
+	}
+	if total != res.Summary.Count {
+		t.Errorf("group totals %d != output count %d", total, res.Summary.Count)
+	}
+}
+
+func TestTopKeysFindsHeavyHitter(t *testing.T) {
+	r, s := workload(t, 40000, 1.0)
+	top := relation.ComputeStats(r).MaxKey
+
+	root := NewTopKeys(3)
+	factory, collect := Sink(root, func() Consumer { return NewTopKeys(3) })
+	csh.Join(r, s, csh.Config{Threads: 2, Flush: factory})
+	collect()
+
+	heavy := root.Heaviest()
+	if len(heavy) == 0 {
+		t.Fatal("no heavy hitters found")
+	}
+	if heavy[0].Key != top {
+		t.Errorf("heaviest output key = %d, want R's top key %d", heavy[0].Key, top)
+	}
+	for i := 1; i < len(heavy); i++ {
+		if heavy[i].Weight > heavy[i-1].Weight {
+			t.Errorf("heaviest not sorted: %+v", heavy)
+		}
+	}
+}
+
+func TestTopKeysMisraGriesBounded(t *testing.T) {
+	tk := NewTopKeys(2)
+	batch := make([]outbuf.Result, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		batch = append(batch, outbuf.Result{Key: relation.Key(i)})
+	}
+	tk.Consume(batch)
+	if len(tk.counters) > 16 {
+		t.Errorf("counter set grew to %d (cap 16)", len(tk.counters))
+	}
+}
+
+func TestSinkReusesPerWorkerConsumers(t *testing.T) {
+	root := NewSum(sumExpr)
+	factory, collect := Sink(root, func() Consumer { return NewSum(sumExpr) })
+	a := factory(0)
+	b := factory(0)
+	a([]outbuf.Result{{PayloadR: 1}})
+	b([]outbuf.Result{{PayloadR: 2}})
+	factory(2)([]outbuf.Result{{PayloadS: 4}})
+	collect()
+	if root.Sum != 7 || root.Rows != 3 {
+		t.Errorf("sum=%d rows=%d, want 7, 3", root.Sum, root.Rows)
+	}
+}

@@ -1,0 +1,241 @@
+// Package zipf implements the paper's skewed workload generator (§V-A).
+//
+// The paper generates join keys as follows: for a given zipf factor it
+// builds an array of intervals, where the length of interval i is the
+// probability of the i-th most popular element under the zipf distribution;
+// it assigns a random unique key to every interval; then for every tuple it
+// draws a random number, binary-searches the interval array, and emits the
+// key of the interval the number falls into. To model highly skewed joins,
+// both table R and table S are generated from the *same* interval array and
+// unique-key array, so the popular keys coincide in both tables.
+//
+// This package reproduces that construction exactly. A Generator is built
+// once per (zipf factor, key universe) pair and can then populate any number
+// of relations; relations drawn from the same Generator share intervals and
+// keys just like the paper's R and S.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"skewjoin/internal/relation"
+)
+
+// Generator draws zipf-distributed join keys from a fixed interval array.
+// It is safe for concurrent use only through independent *rand.Rand streams
+// passed to Fill; the Generator itself is immutable after New.
+type Generator struct {
+	theta     float64
+	universe  int
+	cum       []float64      // cum[i] = P(rank <= i), strictly increasing, cum[len-1] == 1
+	keys      []relation.Key // keys[i] = unique key assigned to rank i (rank 0 most popular)
+	seed      int64
+	keyDomain uint32
+}
+
+// Config controls workload generation.
+type Config struct {
+	// Theta is the zipf exponent ("zipf factor" in the paper), 0 = uniform.
+	Theta float64
+	// Universe is the number of distinct candidate keys (intervals). The
+	// paper sizes it to the table cardinality: with 32M tuples per table and
+	// zipf 1.0 it reports the top key appearing ~1.79M times, which matches
+	// p(1) = 1/H(32M) ≈ 0.056 of 32M.
+	Universe int
+	// Seed makes the interval/key construction and all draws reproducible.
+	Seed int64
+	// KeyDomain bounds the random unique keys (exclusive). Zero means
+	// 2^31, leaving headroom so tests can probe absent keys.
+	KeyDomain uint32
+}
+
+// New builds the interval array and the unique-key array for the given
+// configuration. Construction is O(Universe).
+func New(cfg Config) (*Generator, error) {
+	if cfg.Universe <= 0 {
+		return nil, fmt.Errorf("zipf: universe must be positive, got %d", cfg.Universe)
+	}
+	if cfg.Theta < 0 {
+		return nil, fmt.Errorf("zipf: theta must be non-negative, got %g", cfg.Theta)
+	}
+	dom := cfg.KeyDomain
+	if dom == 0 {
+		dom = 1 << 31
+	}
+	if uint64(dom) < uint64(cfg.Universe) {
+		return nil, fmt.Errorf("zipf: key domain %d smaller than universe %d", dom, cfg.Universe)
+	}
+	g := &Generator{
+		theta:     cfg.Theta,
+		universe:  cfg.Universe,
+		seed:      cfg.Seed,
+		keyDomain: dom,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Interval lengths: p(i) ∝ 1 / i^theta, i = 1..Universe.
+	g.cum = make([]float64, cfg.Universe)
+	var norm float64
+	for i := 1; i <= cfg.Universe; i++ {
+		norm += 1.0 / math.Pow(float64(i), cfg.Theta)
+	}
+	acc := 0.0
+	for i := 1; i <= cfg.Universe; i++ {
+		acc += (1.0 / math.Pow(float64(i), cfg.Theta)) / norm
+		g.cum[i-1] = acc
+	}
+	g.cum[cfg.Universe-1] = 1.0 // guard against float rounding
+
+	// Random unique key per interval: sample Universe distinct keys from the
+	// domain, then shuffle so rank order is decoupled from key order.
+	g.keys = sampleDistinctKeys(rng, cfg.Universe, dom)
+	return g, nil
+}
+
+// MustNew is New but panics on error; for tests and examples with
+// compile-time-correct configs.
+func MustNew(cfg Config) *Generator {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sampleDistinctKeys draws n distinct uint32 keys < dom. For dense cases
+// (n close to dom) it uses a partial Fisher-Yates over the domain; for
+// sparse cases rejection sampling is faster and allocation-light.
+func sampleDistinctKeys(rng *rand.Rand, n int, dom uint32) []relation.Key {
+	keys := make([]relation.Key, n)
+	if uint64(n)*4 >= uint64(dom) {
+		// Dense: partial Fisher-Yates using a sparse swap map.
+		swaps := make(map[uint32]uint32, n)
+		for i := 0; i < n; i++ {
+			j := uint32(i) + uint32(rng.Int63n(int64(dom)-int64(i)))
+			vi, ok := swaps[uint32(i)]
+			if !ok {
+				vi = uint32(i)
+			}
+			vj, ok := swaps[j]
+			if !ok {
+				vj = j
+			}
+			keys[i] = relation.Key(vj)
+			swaps[j] = vi
+		}
+		return keys
+	}
+	seen := make(map[uint32]struct{}, n)
+	for i := 0; i < n; {
+		k := uint32(rng.Int63n(int64(dom)))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys[i] = relation.Key(k)
+		i++
+	}
+	return keys
+}
+
+// Theta returns the zipf factor the generator was built with.
+func (g *Generator) Theta() float64 { return g.theta }
+
+// Universe returns the number of intervals (distinct candidate keys).
+func (g *Generator) Universe() int { return g.universe }
+
+// KeyForRank returns the unique key assigned to the given popularity rank
+// (0 = most popular interval).
+func (g *Generator) KeyForRank(rank int) relation.Key { return g.keys[rank] }
+
+// Prob returns the probability of the key at the given rank.
+func (g *Generator) Prob(rank int) float64 {
+	if rank == 0 {
+		return g.cum[0]
+	}
+	return g.cum[rank] - g.cum[rank-1]
+}
+
+// Draw returns one zipf-distributed key using rng, by the paper's
+// generate-random-number-then-binary-search procedure.
+func (g *Generator) Draw(rng *rand.Rand) relation.Key {
+	u := rng.Float64()
+	// sort.SearchFloat64s finds the first interval whose cumulative
+	// probability reaches u: exactly "search it in the interval array".
+	rank := sort.SearchFloat64s(g.cum, u)
+	if rank >= g.universe {
+		rank = g.universe - 1
+	}
+	return g.keys[rank]
+}
+
+// Fill overwrites the key column of r with zipf-distributed draws and the
+// payload column with the tuple index (a row id, as in the paper's 4B
+// payload). The stream is derived from the generator seed and the given
+// stream id, so R and S use the same intervals but independent draws.
+func (g *Generator) Fill(r relation.Relation, stream int64) {
+	rng := rand.New(rand.NewSource(g.seed*1000003 + stream))
+	for i := range r.Tuples {
+		r.Tuples[i] = relation.Tuple{Key: g.Draw(rng), Payload: relation.Payload(i)}
+	}
+}
+
+// NewRelation allocates a relation of n tuples and fills it from the given
+// stream.
+func (g *Generator) NewRelation(n int, stream int64) relation.Relation {
+	r := relation.New(n)
+	g.Fill(r, stream)
+	return r
+}
+
+// ExpectedTopFrequency returns the expected number of tuples holding the
+// most popular key in a table of n tuples: n * p(rank 0). The paper quotes
+// this quantity for zipf 1.0 / 32M tuples (~1.79M).
+func (g *Generator) ExpectedTopFrequency(n int) float64 {
+	return float64(n) * g.cum[0]
+}
+
+// ExpectedJoinOutput returns the expected join output cardinality of two
+// independent tables of sizes nR and nS drawn from this generator:
+// nR * nS * Σ p(i)^2. This drives the O(output) blow-up the paper's join
+// phases suffer under skew.
+func (g *Generator) ExpectedJoinOutput(nR, nS int) float64 {
+	var sumSq float64
+	prev := 0.0
+	for _, c := range g.cum {
+		p := c - prev
+		sumSq += p * p
+		prev = c
+	}
+	return float64(nR) * float64(nS) * sumSq
+}
+
+// Pair generates the paper's experimental workload: two equal-sized tables
+// R and S of n tuples each, drawn from the same interval and key arrays
+// (maximally coinciding skew) but independent random streams.
+func (g *Generator) Pair(n int) (r, s relation.Relation) {
+	return g.NewRelation(n, 1), g.NewRelation(n, 2)
+}
+
+// FKPair generates a foreign-key workload with one-sided skew: R is a
+// "dimension" table holding every universe key exactly once (unique
+// primary keys, no skew whatsoever), and S is a "fact" table of nS tuples
+// whose foreign keys follow this generator's zipf distribution.
+//
+// This isolates S-side skew: each S tuple matches exactly one R tuple, so
+// the join output is exactly nS, yet the probe traffic concentrates on a
+// few R keys. It is the case the paper singles out as unhandled by Gbase's
+// sub-list technique ("this technique does not handle the data skew in
+// table S", §II-B): sub-lists decompose R partitions, but here no R
+// partition is ever oversized — only S partitions are.
+func (g *Generator) FKPair(nS int) (r, s relation.Relation) {
+	r = relation.New(g.universe)
+	for rank := 0; rank < g.universe; rank++ {
+		r.Tuples[rank] = relation.Tuple{Key: g.keys[rank], Payload: relation.Payload(rank)}
+	}
+	s = g.NewRelation(nS, 3)
+	return r, s
+}

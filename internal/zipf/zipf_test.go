@@ -1,0 +1,241 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skewjoin/internal/relation"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Theta: 0.5, Universe: 0},
+		{Theta: 0.5, Universe: -3},
+		{Theta: -0.1, Universe: 10},
+		{Theta: 0.5, Universe: 100, KeyDomain: 50},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) should fail", cfg)
+		}
+	}
+	if _, err := New(Config{Theta: 0, Universe: 1}); err != nil {
+		t.Errorf("minimal config failed: %v", err)
+	}
+}
+
+func TestCumulativeIsMonotoneAndNormalised(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, 0.7, 1.0, 1.5} {
+		g := MustNew(Config{Theta: theta, Universe: 1000, Seed: 1})
+		prev := 0.0
+		for i := 0; i < g.Universe(); i++ {
+			p := g.Prob(i)
+			if p <= 0 {
+				t.Fatalf("theta=%g rank=%d: probability %g not positive", theta, i, p)
+			}
+			prev += p
+		}
+		if math.Abs(prev-1) > 1e-9 {
+			t.Errorf("theta=%g: probabilities sum to %g", theta, prev)
+		}
+	}
+}
+
+func TestProbabilitiesDecreaseWithRank(t *testing.T) {
+	g := MustNew(Config{Theta: 0.9, Universe: 500, Seed: 2})
+	for i := 1; i < g.Universe(); i++ {
+		if g.Prob(i) > g.Prob(i-1)+1e-12 {
+			t.Fatalf("rank %d more probable than rank %d", i, i-1)
+		}
+	}
+}
+
+func TestUniformThetaGivesEqualIntervals(t *testing.T) {
+	g := MustNew(Config{Theta: 0, Universe: 100, Seed: 3})
+	want := 1.0 / 100
+	for i := 0; i < 100; i++ {
+		if math.Abs(g.Prob(i)-want) > 1e-12 {
+			t.Errorf("rank %d: prob %g, want %g", i, g.Prob(i), want)
+		}
+	}
+}
+
+func TestUniqueKeys(t *testing.T) {
+	g := MustNew(Config{Theta: 0.5, Universe: 5000, Seed: 4})
+	seen := make(map[relation.Key]bool, 5000)
+	for i := 0; i < g.Universe(); i++ {
+		k := g.KeyForRank(i)
+		if seen[k] {
+			t.Fatalf("duplicate key %d at rank %d", k, i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDenseKeySampling(t *testing.T) {
+	// Universe close to the domain forces the Fisher-Yates path.
+	g := MustNew(Config{Theta: 0.5, Universe: 1000, Seed: 5, KeyDomain: 1100})
+	seen := make(map[relation.Key]bool, 1000)
+	for i := 0; i < g.Universe(); i++ {
+		k := g.KeyForRank(i)
+		if uint32(k) >= 1100 {
+			t.Fatalf("key %d outside domain", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestFillDeterministicPerStream(t *testing.T) {
+	g := MustNew(Config{Theta: 0.8, Universe: 1000, Seed: 6})
+	a := g.NewRelation(500, 1)
+	b := g.NewRelation(500, 1)
+	for i := range a.Tuples {
+		if a.Tuples[i] != b.Tuples[i] {
+			t.Fatalf("same stream differs at %d", i)
+		}
+	}
+	c := g.NewRelation(500, 2)
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i].Key != c.Tuples[i].Key {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different streams produced identical key sequences")
+	}
+}
+
+func TestPairSharesKeyUniverse(t *testing.T) {
+	// The paper's high-skew model: R and S share interval and key arrays,
+	// so the most frequent key of R must also be frequent in S.
+	g := MustNew(Config{Theta: 1.0, Universe: 20000, Seed: 7})
+	r, s := g.Pair(20000)
+	rs := relation.ComputeStats(r)
+	sf := relation.KeyFrequencies(s)
+	if got := sf[rs.MaxKey]; got < rs.MaxKeyFreq/2 {
+		t.Errorf("R's top key (freq %d) appears only %d times in S", rs.MaxKeyFreq, got)
+	}
+}
+
+func TestTopFrequencyMatchesExpectation(t *testing.T) {
+	// Empirical top-key frequency should track n*p(0) (the paper quotes
+	// 1.79M of 32M at zipf 1.0, i.e. p(0) = 1/H(32M)).
+	g := MustNew(Config{Theta: 1.0, Universe: 50000, Seed: 8})
+	r := g.NewRelation(50000, 1)
+	st := relation.ComputeStats(r)
+	want := g.ExpectedTopFrequency(50000)
+	if math.Abs(float64(st.MaxKeyFreq)-want) > 0.25*want {
+		t.Errorf("top frequency %d, expected about %.0f", st.MaxKeyFreq, want)
+	}
+}
+
+func TestSkewGrowsWithTheta(t *testing.T) {
+	prev := 0
+	for _, theta := range []float64{0, 0.5, 1.0} {
+		g := MustNew(Config{Theta: theta, Universe: 30000, Seed: 9})
+		r := g.NewRelation(30000, 1)
+		st := relation.ComputeStats(r)
+		if st.MaxKeyFreq < prev {
+			t.Errorf("theta=%g: top frequency %d decreased from %d", theta, st.MaxKeyFreq, prev)
+		}
+		prev = st.MaxKeyFreq
+	}
+	if prev < 100 {
+		t.Errorf("zipf 1.0 top frequency %d is implausibly low", prev)
+	}
+}
+
+func TestExpectedJoinOutputMatchesOracleScale(t *testing.T) {
+	g := MustNew(Config{Theta: 0.9, Universe: 10000, Seed: 10})
+	r, s := g.Pair(10000)
+	freqR := relation.KeyFrequencies(r)
+	freqS := relation.KeyFrequencies(s)
+	var actual float64
+	for k, fr := range freqR {
+		actual += float64(fr) * float64(freqS[k])
+	}
+	want := g.ExpectedJoinOutput(10000, 10000)
+	if actual < want/3 || actual > want*3 {
+		t.Errorf("actual output %.0f vs expectation %.0f: off by more than 3x", actual, want)
+	}
+}
+
+func TestDrawAlwaysReturnsUniverseKey(t *testing.T) {
+	g := MustNew(Config{Theta: 0.7, Universe: 64, Seed: 11})
+	valid := make(map[relation.Key]bool, 64)
+	for i := 0; i < 64; i++ {
+		valid[g.KeyForRank(i)] = true
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10000; i++ {
+		if k := g.Draw(rng); !valid[k] {
+			t.Fatalf("draw %d produced key %d outside the universe", i, k)
+		}
+	}
+}
+
+func TestFKPairStructure(t *testing.T) {
+	g := MustNew(Config{Theta: 0.9, Universe: 5000, Seed: 13})
+	r, s := g.FKPair(20000)
+	if r.Len() != 5000 {
+		t.Fatalf("dimension table has %d tuples, want 5000", r.Len())
+	}
+	if s.Len() != 20000 {
+		t.Fatalf("fact table has %d tuples, want 20000", s.Len())
+	}
+	// R keys are unique and cover the universe.
+	seen := make(map[relation.Key]bool, r.Len())
+	for _, tp := range r.Tuples {
+		if seen[tp.Key] {
+			t.Fatalf("duplicate dimension key %d", tp.Key)
+		}
+		seen[tp.Key] = true
+	}
+	// Every S foreign key resolves to a dimension row.
+	for i, tp := range s.Tuples {
+		if !seen[tp.Key] {
+			t.Fatalf("fact tuple %d has dangling foreign key %d", i, tp.Key)
+		}
+	}
+	// S is skewed, R is not.
+	if st := relation.ComputeStats(s); st.MaxKeyFreq < 100 {
+		t.Errorf("fact table top key frequency %d: not skewed", st.MaxKeyFreq)
+	}
+	if st := relation.ComputeStats(r); st.MaxKeyFreq != 1 {
+		t.Errorf("dimension table top key frequency %d, want 1", st.MaxKeyFreq)
+	}
+}
+
+func TestQuickDrawInUniverse(t *testing.T) {
+	// Property: for any (theta, universe, seed), every draw is a universe
+	// key and the generator never panics.
+	f := func(thetaRaw uint8, universeRaw uint16, seed int64) bool {
+		theta := float64(thetaRaw%15) / 10 // 0.0 .. 1.4
+		universe := int(universeRaw%2000) + 1
+		g, err := New(Config{Theta: theta, Universe: universe, Seed: seed})
+		if err != nil {
+			return false
+		}
+		valid := make(map[relation.Key]bool, universe)
+		for i := 0; i < universe; i++ {
+			valid[g.KeyForRank(i)] = true
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < 200; i++ {
+			if !valid[g.Draw(rng)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package skewjoin
+
+import (
+	"skewjoin/internal/freqtable"
+	"skewjoin/internal/relation"
+)
+
+// Recommendation is the planner's advice for one join: which CPU and which
+// GPU algorithm to use, and the evidence it based the decision on.
+//
+// The rule mirrors the algorithms' own detection logic: a cheap sample of R
+// is counted in a frequency table, and if any key's sampled frequency
+// reaches the CSH threshold *and* its estimated full-table frequency is
+// large enough to dominate a cache/shared-memory-sized partition, the
+// skew-conscious variants are worth their detection overhead. On
+// near-uniform inputs the baselines avoid CSH's checkup-table probes and
+// GSH's division pass (the paper: both skew-conscious joins are merely
+// "comparable" to the baselines at zipf 0-0.4).
+type Recommendation struct {
+	// CPU is Cbase or CSH; GPU is Gbase or GSH.
+	CPU, GPU Algorithm
+	// SkewDetected reports whether the sample triggered the skew rule.
+	SkewDetected bool
+	// TopKeyEstimate is the estimated full-table frequency of the most
+	// popular sampled key.
+	TopKeyEstimate int
+	// SampleSize is the number of R tuples inspected.
+	SampleSize int
+}
+
+// PlannerConfig tunes Recommend. The zero value uses CSH's detection
+// parameters.
+type PlannerConfig struct {
+	// SampleRate is the fraction of R sampled (default 0.01).
+	SampleRate float64
+	// MinFrequency is the sampled-frequency trigger (default 2, as CSH).
+	MinFrequency uint32
+	// PartitionTuples is the partition budget a skewed key must be able to
+	// dominate before skew handling pays off (default 4096, a
+	// shared-memory/cache-sized partition).
+	PartitionTuples int
+}
+
+func (c PlannerConfig) defaults() PlannerConfig {
+	if c.SampleRate <= 0 {
+		c.SampleRate = 0.01
+	}
+	if c.MinFrequency == 0 {
+		c.MinFrequency = 2
+	}
+	if c.PartitionTuples <= 0 {
+		c.PartitionTuples = 4096
+	}
+	return c
+}
+
+// EstimateOutput estimates the join output cardinality |R ⋈ S| from
+// samples of both tables, using the cross-sample estimator:
+//
+//	Σ_k fR(k)·fS(k) / (rateR · rateS)
+//
+// over the sampled frequency tables. Under skew the estimate is driven by
+// the heavy keys, which sampling captures reliably; it underestimates the
+// contribution of near-unique keys (which a 1% sample rarely pairs up),
+// so treat it as an estimate of the skew-dominated output — exactly the
+// part that decides between the baseline and the skew-conscious join.
+func EstimateOutput(r, s Relation, cfg PlannerConfig) uint64 {
+	cfg = cfg.defaults()
+	if r.Len() == 0 || s.Len() == 0 {
+		return 0
+	}
+	stride := int(1 / cfg.SampleRate)
+	if stride < 1 {
+		stride = 1
+	}
+	count := func(rel Relation) (*freqtable.Counter, int) {
+		c := freqtable.New(rel.Len()/stride + 1)
+		n := 0
+		for i := 0; i < rel.Len(); i += stride {
+			c.Add(rel.Tuples[i].Key)
+			n++
+		}
+		return c, n
+	}
+	cr, nr := count(r)
+	cs, ns := count(s)
+	if nr == 0 || ns == 0 {
+		return 0
+	}
+	var crossSample uint64
+	cr.Each(func(k relation.Key, fr uint32) {
+		if fs := cs.Count(k); fs > 0 {
+			crossSample += uint64(fr) * uint64(fs)
+		}
+	})
+	scaleR := float64(r.Len()) / float64(nr)
+	scaleS := float64(s.Len()) / float64(ns)
+	return uint64(float64(crossSample) * scaleR * scaleS)
+}
+
+// Recommend samples R and picks between the baseline and skew-conscious
+// algorithm for each architecture. It is the adaptive-dispatcher pattern
+// for skewed hash joins, built from the paper's own detection machinery.
+func Recommend(r Relation, cfg PlannerConfig) Recommendation {
+	cfg = cfg.defaults()
+	rec := Recommendation{CPU: Cbase, GPU: Gbase}
+	if r.Len() == 0 {
+		return rec
+	}
+	stride := int(1 / cfg.SampleRate)
+	if stride < 1 {
+		stride = 1
+	}
+	counter := freqtable.New(r.Len()/stride + 1)
+	var topSampled uint32
+	for i := 0; i < r.Len(); i += stride {
+		if c := counter.Add(relation.Key(r.Tuples[i].Key)); c > topSampled {
+			topSampled = c
+		}
+	}
+	rec.SampleSize = (r.Len() + stride - 1) / stride
+	rec.TopKeyEstimate = int(topSampled) * stride
+	// Skewed enough to matter: the trigger frequency was reached in the
+	// sample and the extrapolated count would fill a partition budget.
+	if topSampled >= cfg.MinFrequency && rec.TopKeyEstimate >= cfg.PartitionTuples/4 {
+		rec.SkewDetected = true
+		rec.CPU, rec.GPU = CSH, GSH
+	}
+	return rec
+}

@@ -1,0 +1,138 @@
+package skewjoin
+
+import "testing"
+
+func TestRecommendUniformPicksBaselines(t *testing.T) {
+	r, _, err := GenerateZipfPair(100000, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(r, PlannerConfig{})
+	if rec.SkewDetected {
+		t.Errorf("uniform input flagged as skewed: %+v", rec)
+	}
+	if rec.CPU != Cbase || rec.GPU != Gbase {
+		t.Errorf("uniform input should pick baselines, got %s/%s", rec.CPU, rec.GPU)
+	}
+}
+
+func TestRecommendSkewedPicksSkewConscious(t *testing.T) {
+	r, _, err := GenerateZipfPair(100000, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(r, PlannerConfig{})
+	if !rec.SkewDetected {
+		t.Fatalf("zipf 1.0 not flagged as skewed: %+v", rec)
+	}
+	if rec.CPU != CSH || rec.GPU != GSH {
+		t.Errorf("skewed input should pick CSH/GSH, got %s/%s", rec.CPU, rec.GPU)
+	}
+	st := Stats(r)
+	// The estimate should be within 3x of the true top frequency.
+	if rec.TopKeyEstimate < st.MaxKeyFreq/3 || rec.TopKeyEstimate > st.MaxKeyFreq*3 {
+		t.Errorf("top-key estimate %d vs true %d", rec.TopKeyEstimate, st.MaxKeyFreq)
+	}
+}
+
+func TestRecommendEmptyRelation(t *testing.T) {
+	var empty Relation
+	rec := Recommend(empty, PlannerConfig{})
+	if rec.SkewDetected || rec.CPU != Cbase {
+		t.Errorf("empty relation: %+v", rec)
+	}
+}
+
+func TestRecommendConfigKnobs(t *testing.T) {
+	r, _, err := GenerateZipfPair(50000, 0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurdly high partition budget suppresses the recommendation.
+	rec := Recommend(r, PlannerConfig{PartitionTuples: 1 << 30})
+	if rec.SkewDetected {
+		t.Errorf("huge budget still detected skew: %+v", rec)
+	}
+	// A tiny budget plus full sampling triggers it.
+	rec = Recommend(r, PlannerConfig{SampleRate: 1, PartitionTuples: 4})
+	if !rec.SkewDetected {
+		t.Errorf("tiny budget did not detect skew: %+v", rec)
+	}
+}
+
+func TestEstimateOutputAccurateUnderSkew(t *testing.T) {
+	for _, z := range []float64{0.5, 0.8, 1.0} {
+		r, s, err := GenerateZipfPair(100000, z, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := EstimateOutput(r, s, PlannerConfig{})
+		truth := Expected(r, s).Matches
+		ratio := float64(est) / float64(truth)
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("zipf %.1f: estimate %d vs truth %d (ratio %.2f)", z, est, truth, ratio)
+		}
+	}
+}
+
+func TestEstimateOutputMonotoneInSkew(t *testing.T) {
+	var prev uint64
+	for _, z := range []float64{0.3, 0.6, 0.9} {
+		r, s, err := GenerateZipfPair(50000, z, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := EstimateOutput(r, s, PlannerConfig{})
+		if est < prev {
+			t.Errorf("estimate fell from %d to %d at zipf %.1f", prev, est, z)
+		}
+		prev = est
+	}
+}
+
+func TestEstimateOutputEdgeCases(t *testing.T) {
+	var empty Relation
+	r, s, err := GenerateZipfPair(1000, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EstimateOutput(empty, s, PlannerConfig{}); got != 0 {
+		t.Errorf("empty R estimate %d", got)
+	}
+	if got := EstimateOutput(r, empty, PlannerConfig{}); got != 0 {
+		t.Errorf("empty S estimate %d", got)
+	}
+	// Full sampling equals the exact count.
+	exact := EstimateOutput(r, s, PlannerConfig{SampleRate: 1})
+	if truth := Expected(r, s).Matches; exact != truth {
+		t.Errorf("full-sample estimate %d != truth %d", exact, truth)
+	}
+}
+
+func TestRecommendAgreesWithJoinOutcome(t *testing.T) {
+	// End-to-end: on a heavily skewed workload, the recommended CPU
+	// algorithm should not be slower than the one it rejected.
+	r, s, err := GenerateZipfPair(100000, 1.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(r, PlannerConfig{})
+	chosen, err := Join(rec.CPU, r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := Cbase
+	if rec.CPU == Cbase {
+		other = CSH
+	}
+	rejected, err := Join(other, r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow generous noise: the recommendation must not be a regression of
+	// more than 30%.
+	if float64(chosen.Total) > 1.3*float64(rejected.Total) {
+		t.Errorf("recommended %s (%v) much slower than rejected %s (%v)",
+			rec.CPU, chosen.Total, other, rejected.Total)
+	}
+}

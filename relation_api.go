@@ -1,0 +1,24 @@
+package skewjoin
+
+import "skewjoin/internal/relation"
+
+// NewRelation builds a relation from parallel key and payload columns.
+// It panics if the slices have different lengths.
+func NewRelation(keys []Key, payloads []Payload) Relation {
+	return relation.FromPairs(keys, payloads)
+}
+
+// RelationStats summarises a relation's key distribution: tuple and
+// distinct-key counts and the most popular key with its frequency — the
+// quantities the paper's skew analysis is framed in.
+type RelationStats = relation.Stats
+
+// Stats scans a relation and returns its key-distribution statistics.
+func Stats(r Relation) RelationStats { return relation.ComputeStats(r) }
+
+// SaveRelation writes a relation to path in the binary format shared by
+// cmd/datagen and cmd/skewjoin.
+func SaveRelation(r Relation, path string) error { return r.SaveFile(path) }
+
+// LoadRelation reads a relation written by SaveRelation or cmd/datagen.
+func LoadRelation(path string) (Relation, error) { return relation.LoadFile(path) }
