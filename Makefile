@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench experiments examples clean
+.PHONY: all build vet test race fuzz bench bench-smoke bench-partition experiments examples clean
 
 all: build vet test
 
@@ -24,6 +24,16 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash, without waiting for stable timings (CI runs this).
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Partition-path A/B sweep (scatter x scheduler x skew); writes the
+# machine-readable perf baseline committed as BENCH_partition.json.
+bench-partition:
+	$(GO) run ./cmd/skewbench -exp partition -repeats 7 -out BENCH_partition.json
 
 # Regenerate every table and figure of the paper (plus extensions).
 experiments:

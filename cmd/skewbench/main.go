@@ -1,15 +1,17 @@
 // Command skewbench regenerates the paper's evaluation — Figure 1,
 // Figures 4a/4b, Table I, the scale-up experiment and the headline speedup
 // summary — plus this repository's extension experiments: the §III skew
-// analysis, one-sided S skew (sskew), sort-vs-hash (sortvshash) and
-// per-join memory footprints (memory).
+// analysis, one-sided S skew (sskew), sort-vs-hash (sortvshash), per-join
+// memory footprints (memory) and the partition-path A/B sweep (partition;
+// excluded from "all" — run it explicitly, typically via make
+// bench-partition, which writes BENCH_partition.json).
 //
 // Usage:
 //
 //	skewbench [-exp fig1|fig4a|fig4b|table1|speedup|large|
-//	                analysis|sskew|sortvshash|memory|all]
+//	                analysis|sskew|sortvshash|memory|partition|all]
 //	          [-n tuples] [-threads k] [-seed s] [-zipf list] [-shm KiB]
-//	          [-json] [-plot]
+//	          [-json] [-plot] [-out file.json]
 //
 // GPU times (marked '*') are modelled by the device simulator; CPU times
 // are wall-clock. Every run is verified against the join oracle; any
@@ -42,18 +44,20 @@ type plotter interface {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, or all")
+		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, or all")
 		tuples  = flag.Int("n", 0, "tuples per input table (default $SKEWJOIN_TUPLES or 262144)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		repeats = flag.Int("repeats", 0, "timed runs per measured configuration, best kept (default 3)")
 		zipfStr = flag.String("zipf", "", "comma-separated zipf factors (default 0.0..1.0 step 0.1)")
 		shmKB   = flag.Int("shm", 0, "simulated GPU shared memory per block, KiB (default 64 = A100-like); shrink to match the paper's skew-to-capacity ratio at small table sizes")
 		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 		plot    = flag.Bool("plot", false, "also render figure reports as log-scale ASCII charts")
+		outFile = flag.String("out", "", "also write the partition report as JSON to this file (e.g. BENCH_partition.json; -exp partition only)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Tuples: *tuples, Threads: *threads, Seed: *seed}
+	cfg := bench.Config{Tuples: *tuples, Threads: *threads, Seed: *seed, Repeats: *repeats}
 	if *shmKB > 0 {
 		cfg.Device.SharedMemBytes = *shmKB << 10
 	}
@@ -81,6 +85,13 @@ func main() {
 			os.Exit(1)
 		}
 		failed = failed || errs
+		if name == "partition" && *outFile != "" {
+			if err := writeJSON(*outFile, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "skewbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "skewbench: wrote %s\n", *outFile)
+		}
 		if *asJSON {
 			jsonOut[name] = rep
 		} else {
@@ -137,9 +148,27 @@ func run(name string, cfg bench.Config) (printer, bool, error) {
 	case "memory":
 		rep, err := bench.Memory(cfg)
 		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "partition":
+		rep, err := bench.PartitionBench(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
 	default:
 		return nil, false, fmt.Errorf("unknown experiment %q", name)
 	}
+}
+
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseZipfs(s string) ([]float64, error) {

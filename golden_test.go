@@ -1,6 +1,9 @@
 package skewjoin
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestGoldenWorkloads pins the workload generator and oracle to known
 // values for fixed seeds. Any change to the interval construction, key
@@ -39,6 +42,39 @@ func TestGoldenWorkloads(t *testing.T) {
 			if res.Matches != g.matches || res.Checksum != g.checksum {
 				t.Errorf("%s on golden workload n=%d zipf=%.1f: got (%d, %#x)",
 					alg, g.n, g.theta, res.Matches, res.Checksum)
+			}
+		}
+	}
+}
+
+// TestGoldenAcrossPartitionVariants pins the optimisation contract of the
+// partitioner overhaul: every combination of scatter strategy and task
+// queue must land exactly on the golden output — the write-combining
+// scatter and the lock-free dequeue are required to be bit-for-bit
+// output-equivalent to the seed paths.
+func TestGoldenAcrossPartitionVariants(t *testing.T) {
+	const (
+		n     = 10000
+		theta = 0.7
+		seed  = int64(42)
+	)
+	const wantMatches, wantChecksum = 131133, uint64(0xaf5fc23ac7065323)
+	r, s, err := GenerateZipfPair(n, theta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Cbase, CSH} {
+		for _, scatter := range []ScatterMode{ScatterAuto, ScatterDirect, ScatterWC} {
+			for _, sched := range []SchedMode{SchedAtomic, SchedMutex} {
+				name := fmt.Sprintf("%s/scatter=%s/sched=%s", alg, scatter, sched)
+				res, err := Join(alg, r, s, &Options{Threads: 2, Scatter: scatter, Sched: sched})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Matches != wantMatches || res.Checksum != wantChecksum {
+					t.Errorf("%s: got (%d, %#x), want (%d, %#x)",
+						name, res.Matches, res.Checksum, wantMatches, wantChecksum)
+				}
 			}
 		}
 	}

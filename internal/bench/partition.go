@@ -1,0 +1,300 @@
+// Partition-phase A/B benchmark: the machine-readable perf baseline for
+// the CPU hot-path overhaul (write-combining scatter, lock-free dequeue,
+// overlapped R/S passes). cmd/skewbench -exp partition runs it and can
+// write the result as BENCH_partition.json, the perf-trajectory artifact
+// future PRs compare against.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"skewjoin/internal/cbase"
+	"skewjoin/internal/csh"
+	"skewjoin/internal/exec"
+	"skewjoin/internal/radix"
+)
+
+// PartitionVariant is one measured combination of partitioner knobs.
+type PartitionVariant struct {
+	Name    string            `json:"name"`
+	Scatter radix.ScatterMode `json:"-"`
+	Sched   radix.SchedMode   `json:"-"`
+}
+
+// joinVariants are the combinations measured for the end-to-end joins:
+// the seed paths, each change in isolation, and the shipped default. The
+// control row re-measures the seed configuration under a second name: the
+// seed/control spread is an A/A measurement of the harness noise floor,
+// the yardstick against which the other deltas must be read.
+var joinVariants = []PartitionVariant{
+	{Name: "seed(direct+mutex)", Scatter: radix.ScatterDirect, Sched: radix.SchedMutex},
+	{Name: "direct+atomic", Scatter: radix.ScatterDirect, Sched: radix.SchedAtomic},
+	{Name: "wc+atomic", Scatter: radix.ScatterWC, Sched: radix.SchedAtomic},
+	{Name: "default(auto+atomic)", Scatter: radix.ScatterAuto, Sched: radix.SchedAtomic},
+	{Name: "control(direct+mutex)", Scatter: radix.ScatterDirect, Sched: radix.SchedMutex},
+}
+
+// radixVariants is the full scatter x sched matrix measured on the raw
+// partitioner, isolating the two mechanisms from the join phase.
+var radixVariants = []PartitionVariant{
+	{Name: "direct+mutex", Scatter: radix.ScatterDirect, Sched: radix.SchedMutex},
+	{Name: "direct+atomic", Scatter: radix.ScatterDirect, Sched: radix.SchedAtomic},
+	{Name: "wc+mutex", Scatter: radix.ScatterWC, Sched: radix.SchedMutex},
+	{Name: "wc+atomic", Scatter: radix.ScatterWC, Sched: radix.SchedAtomic},
+}
+
+// radixBitConfigs are the raw-partitioner bit splits measured: the join
+// default (low per-pass fanout) and a high-fanout single pass, the regime
+// software write-combining targets.
+var radixBitConfigs = []struct{ Bits1, Bits2 uint32 }{
+	{6, 5},
+	{11, 0},
+	{7, 7},
+}
+
+// PartitionCell is one measured configuration for an algorithm/zipf/
+// variant triple. Phases holds each phase's minimum across the repeat
+// runs and TotalNS the minimum single-run total; the per-phase minima do
+// not come from one run, which makes them robust A/B statistics on noisy
+// hosts but means they need not sum to TotalNS.
+type PartitionCell struct {
+	Algo    string           `json:"algo"`
+	Zipf    float64          `json:"zipf"`
+	Variant string           `json:"variant"`
+	Phases  map[string]int64 `json:"phases_ns"`
+	TotalNS int64            `json:"total_ns"`
+}
+
+// PartitionReport is the full partition benchmark: the committed
+// BENCH_partition.json is exactly this structure.
+type PartitionReport struct {
+	Tuples   int               `json:"tuples"`
+	Threads  int               `json:"threads"`
+	Seed     int64             `json:"seed"`
+	Repeats  int               `json:"repeats"`
+	Zipfs    []float64         `json:"zipfs"`
+	Defaults map[string]string `json:"defaults"`
+	Cells    []PartitionCell   `json:"cells"`
+	Errors   []string          `json:"errors,omitempty"`
+}
+
+// partitionZipfs is the default skew sweep: a uniform anchor plus the
+// paper's medium-to-high skew points.
+var partitionZipfs = []float64{0.0, 0.5, 0.8, 1.0}
+
+// PartitionBench measures the partitioner variants. Zipf factors come from
+// cfg.Zipfs when the caller overrode them (len != the full default sweep),
+// otherwise the default partition sweep is used.
+func PartitionBench(cfg Config) (*PartitionReport, error) {
+	zipfs := partitionZipfs
+	if len(cfg.Zipfs) > 0 && len(cfg.Zipfs) != 11 {
+		// An explicit -zipf list (the full 11-point default means "unset").
+		zipfs = cfg.Zipfs
+	}
+	cfg = cfg.Defaults()
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = exec.DefaultThreads()
+	}
+	rep := &PartitionReport{
+		Tuples:  cfg.Tuples,
+		Threads: threads,
+		Seed:    cfg.Seed,
+		Repeats: cfg.Repeats,
+		Zipfs:   zipfs,
+		Defaults: map[string]string{
+			"scatter": radix.ScatterAuto.String(),
+			"sched":   radix.SchedAtomic.String(),
+		},
+	}
+
+	for _, z := range zipfs {
+		w, err := MakeWorkload(cfg.Tuples, z, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+
+		// Raw partitioner: both relations, full scatter x sched matrix,
+		// several bit splits. Pure partition time, no join phase. One
+		// untimed warm-up per bit split, then the variants interleaved
+		// across repeat rounds so heap growth and host noise spread evenly
+		// instead of penalising whichever variant runs last.
+		for _, bits := range radixBitConfigs {
+			warm := radix.Config{Threads: threads, Bits1: bits.Bits1, Bits2: bits.Bits2}
+			radix.Partition(w.R.Tuples, warm, nil)
+			best := make([]time.Duration, len(radixVariants))
+			for vi := range best {
+				best[vi] = -1
+			}
+			for it := 0; it < cfg.Repeats; it++ {
+				// Rotate the starting variant each round: host noise with a
+				// time structure (VM steal, thermal) otherwise lands on the
+				// same positions every round and best-of cannot cancel it.
+				for k := range radixVariants {
+					vi := (it + k) % len(radixVariants)
+					v := radixVariants[vi]
+					rcfg := radix.Config{
+						Threads: threads, Bits1: bits.Bits1, Bits2: bits.Bits2,
+						Scatter: v.Scatter, Sched: v.Sched,
+					}
+					runtime.GC()
+					start := time.Now()
+					radix.Partition(w.R.Tuples, rcfg, nil)
+					radix.Partition(w.S.Tuples, rcfg, nil)
+					if d := time.Since(start); best[vi] < 0 || d < best[vi] {
+						best[vi] = d
+					}
+				}
+			}
+			for vi, v := range radixVariants {
+				rep.Cells = append(rep.Cells, PartitionCell{
+					Algo:    fmt.Sprintf("radix/bits=%d+%d", bits.Bits1, bits.Bits2),
+					Zipf:    z,
+					Variant: v.Name,
+					Phases:  map[string]int64{"partition": best[vi].Nanoseconds()},
+					TotalNS: best[vi].Nanoseconds(),
+				})
+			}
+		}
+
+		// End-to-end joins: per-phase breakdown of the fastest of Repeats
+		// runs, verified against the oracle every run. Same discipline as
+		// above: one untimed warm-up per algorithm, variants interleaved
+		// across rounds, fastest run kept per variant.
+		runJoin := func(algo string, v PartitionVariant) ([]exec.Phase, bool) {
+			switch algo {
+			case "cbase":
+				res := cbase.Join(w.R, w.S, cbase.Config{
+					Threads: cfg.Threads, Scatter: v.Scatter, Sched: v.Sched,
+				})
+				return res.Phases, res.Summary == w.Expected
+			default:
+				res := csh.Join(w.R, w.S, csh.Config{
+					Threads: cfg.Threads, Scatter: v.Scatter, Sched: v.Sched,
+				})
+				return res.Phases, res.Summary == w.Expected
+			}
+		}
+		for _, algo := range []string{"cbase", "csh"} {
+			cells := make([]PartitionCell, len(joinVariants))
+			for vi, v := range joinVariants {
+				cells[vi] = PartitionCell{Algo: algo, Zipf: z, Variant: v.Name}
+			}
+			runJoin(algo, joinVariants[0]) // warm-up, discarded
+			for it := 0; it < cfg.Repeats; it++ {
+				for k := range joinVariants {
+					vi := (it + k) % len(joinVariants)
+					v := joinVariants[vi]
+					runtime.GC()
+					phases, ok := runJoin(algo, v)
+					if !ok {
+						rep.Errors = append(rep.Errors, fmt.Sprintf(
+							"%s %s @ zipf %.1f: output mismatch", algo, v.Name, z))
+						continue
+					}
+					takeMin(&cells[vi], phases)
+				}
+			}
+			rep.Cells = append(rep.Cells, cells...)
+		}
+
+		// Queue microbenchmark: drain the real pass-2 task shape (one task
+		// per pass-1 partition of R) through both queue implementations,
+		// with the per-task work replaced by a fixed-cost touch so the
+		// numbers isolate dequeue overhead.
+		for _, sched := range []radix.SchedMode{radix.SchedMutex, radix.SchedAtomic} {
+			d := queueDrainTime(threads, 1<<11, cfg.Repeats, sched)
+			rep.Cells = append(rep.Cells, PartitionCell{
+				Algo:    "queue/tasks=2048",
+				Zipf:    z,
+				Variant: sched.String(),
+				Phases:  map[string]int64{"drain": d.Nanoseconds()},
+				TotalNS: d.Nanoseconds(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// takeMin folds one run's phases into the cell, keeping each phase's
+// minimum across runs and the minimum single-run total. Per-phase minima
+// beat "phases of the fastest run": on a noisy host the fastest total is
+// picked by whichever phase dominates, dragging unrepresentative samples
+// of the other phases along with it.
+func takeMin(cell *PartitionCell, phases []exec.Phase) {
+	var total int64
+	m := make(map[string]int64, len(phases))
+	for _, p := range phases {
+		m[p.Name] += p.Duration.Nanoseconds()
+		total += p.Duration.Nanoseconds()
+	}
+	if cell.Phases == nil {
+		cell.Phases = m
+		cell.TotalNS = total
+		return
+	}
+	for name, ns := range m {
+		if prev, ok := cell.Phases[name]; !ok || ns < prev {
+			cell.Phases[name] = ns
+		}
+	}
+	if total < cell.TotalNS {
+		cell.TotalNS = total
+	}
+}
+
+// queueDrainTime measures draining `tasks` trivial tasks with `threads`
+// workers through the selected queue implementation, best of repeats.
+func queueDrainTime(threads, tasks, repeats int, sched radix.SchedMode) time.Duration {
+	items := make([]int, tasks)
+	for i := range items {
+		items[i] = i
+	}
+	var sink atomic.Int64
+	work := func(_ int, t int) { sink.Add(int64(t)) }
+	best := time.Duration(-1)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		if sched == radix.SchedMutex {
+			exec.NewMutexQueue(items).Drain(threads, work)
+		} else {
+			exec.NewQueue(items).Drain(threads, work)
+		}
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Fprint renders the report as aligned text: one block per zipf factor,
+// one line per algo/variant with its partition-relevant phases.
+func (rep *PartitionReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== Partition-path A/B benchmark (n=%d, threads=%d, best of %d) ==\n",
+		rep.Tuples, rep.Threads, rep.Repeats)
+	fmt.Fprintf(w, "defaults: scatter=%s sched=%s\n", rep.Defaults["scatter"], rep.Defaults["sched"])
+	for _, z := range rep.Zipfs {
+		fmt.Fprintf(w, "-- zipf %.1f --\n", z)
+		for _, c := range rep.Cells {
+			if c.Zipf != z {
+				continue
+			}
+			fmt.Fprintf(w, "%-18s %-22s", c.Algo, c.Variant)
+			if part, ok := c.Phases["partition"]; ok {
+				fmt.Fprintf(w, "  partition %10s", FormatDuration(time.Duration(part)))
+			}
+			if drain, ok := c.Phases["drain"]; ok {
+				fmt.Fprintf(w, "  drain %10s", FormatDuration(time.Duration(drain)))
+			}
+			fmt.Fprintf(w, "  total %10s\n", FormatDuration(time.Duration(c.TotalNS)))
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(w, "VERIFICATION FAILED: %s\n", e)
+	}
+	fmt.Fprintln(w)
+}

@@ -22,6 +22,7 @@
 package cbase
 
 import (
+	"sync"
 	"time"
 
 	"skewjoin/internal/exec"
@@ -49,6 +50,12 @@ type Config struct {
 	// buffers (the volcano model's upper operator); the final partial
 	// batch is delivered before Join returns.
 	Flush func(worker int) outbuf.FlushFunc
+	// Scatter selects the partitioner's scatter strategy (default
+	// radix.ScatterAuto); both strategies are output-equivalent.
+	Scatter radix.ScatterMode
+	// Sched selects the dynamic task queue used by partition pass 2 and
+	// the join phase (default radix.SchedAtomic).
+	Sched radix.SchedMode
 }
 
 // Defaults fills zero fields with defaults.
@@ -96,12 +103,32 @@ func Join(r, s relation.Relation, cfg Config) Result {
 	cfg = cfg.Defaults()
 	var res Result
 	var timer exec.PhaseTimer
-	rcfg := radix.Config{Threads: cfg.Threads, Bits1: cfg.Bits1, Bits2: cfg.Bits2}
+	rcfg := radix.Config{
+		Threads: cfg.Threads, Bits1: cfg.Bits1, Bits2: cfg.Bits2,
+		Scatter: cfg.Scatter, Sched: cfg.Sched,
+	}
 
+	// The R and S partitioning passes are independent, so they run
+	// overlapped with the worker pool split between them in proportion to
+	// the table sizes (partition contents are thread-count-invariant, so
+	// the overlap is output-equivalent to the sequential passes).
 	var pr, ps *radix.Partitioned
 	timer.Time("partition", func() {
-		pr = radix.Partition(r.Tuples, rcfg, nil)
-		ps = radix.Partition(s.Tuples, rcfg, nil)
+		if cfg.Threads > 1 {
+			rc, sc := rcfg, rcfg
+			rc.Threads, sc.Threads = exec.SplitThreads(cfg.Threads, r.Len(), s.Len())
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pr = radix.Partition(r.Tuples, rc, nil)
+			}()
+			ps = radix.Partition(s.Tuples, sc, nil)
+			wg.Wait()
+		} else {
+			pr = radix.Partition(r.Tuples, rcfg, nil)
+			ps = radix.Partition(s.Tuples, rcfg, nil)
+		}
 	})
 	res.Stats.Fanout = rcfg.Fanout()
 	_, res.Stats.MaxPartitionR = pr.MaxPartition()
@@ -118,6 +145,7 @@ func Join(r, s relation.Relation, cfg Config) Result {
 		res.Stats.Join = joinphase.Run(pr, ps, joinphase.Config{
 			Threads:    cfg.Threads,
 			SkewFactor: cfg.SkewFactor,
+			Sched:      cfg.Sched,
 		}, bufs)
 		for _, b := range bufs {
 			b.Flush()

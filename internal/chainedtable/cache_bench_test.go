@@ -69,3 +69,72 @@ func BenchmarkBuild(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkProbe guards the probe loop itself against regressions: a
+// mixed-key workload (every tuple distinct key, ~1 node per visit) and a
+// fully skewed one (every probe walks the whole chain). The joins spend
+// most of their join phase inside Table.Probe, so any extra work per chain
+// node shows up here immediately.
+func BenchmarkProbe(b *testing.B) {
+	const size = 1 << 14
+	b.Run("distinct-keys", func(b *testing.B) {
+		tuples := make([]relation.Tuple, size)
+		for i := range tuples {
+			tuples[i] = relation.Tuple{Key: relation.Key(i * 2654435761), Payload: relation.Payload(i)}
+		}
+		table := Build(tuples)
+		b.SetBytes(int64(size) * relation.TupleSize)
+		var sink relation.Payload
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tp := range tuples {
+				table.Probe(tp.Key, func(p relation.Payload) { sink += p })
+			}
+		}
+		_ = sink
+	})
+	b.Run("one-hot-key", func(b *testing.B) {
+		tuples := make([]relation.Tuple, size)
+		for i := range tuples {
+			tuples[i] = relation.Tuple{Key: 42, Payload: relation.Payload(i)}
+		}
+		table := Build(tuples)
+		b.SetBytes(int64(size) * relation.TupleSize)
+		var sink relation.Payload
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			table.Probe(42, func(p relation.Payload) { sink += p })
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkMaxChain pins the max-chain scan, which runs once per join task
+// right after Build: it must stay a pure walk with no allocation.
+func BenchmarkMaxChain(b *testing.B) {
+	for _, skewed := range []bool{false, true} {
+		name := "distinct-keys"
+		if skewed {
+			name = "one-hot-key"
+		}
+		b.Run(name, func(b *testing.B) {
+			const size = 1 << 14
+			tuples := make([]relation.Tuple, size)
+			for i := range tuples {
+				k := relation.Key(i * 2654435761)
+				if skewed {
+					k = 42
+				}
+				tuples[i] = relation.Tuple{Key: k, Payload: relation.Payload(i)}
+			}
+			table := Build(tuples)
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += table.MaxChain()
+			}
+			_ = sink
+		})
+	}
+}

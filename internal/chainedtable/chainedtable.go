@@ -88,18 +88,18 @@ func (t *Table) ChainLength(k relation.Key) int {
 }
 
 // MaxChain returns the longest chain in the table, a direct measure of how
-// badly skew degrades chained hashing.
+// badly skew degrades chained hashing. Chains are walked with a running
+// maximum — no per-bucket allocation; the join phase calls this once per
+// build, so it sits on the task hot path.
 func (t *Table) MaxChain() int {
-	counts := make([]int, len(t.heads))
-	for b := range t.heads {
-		for i := t.heads[b]; i >= 0; i = t.next[i] {
-			counts[b]++
-		}
-	}
 	max := 0
-	for _, c := range counts {
-		if c > max {
-			max = c
+	for b := range t.heads {
+		n := 0
+		for i := t.heads[b]; i >= 0; i = t.next[i] {
+			n++
+		}
+		if n > max {
+			max = n
 		}
 	}
 	return max

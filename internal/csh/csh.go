@@ -19,6 +19,7 @@
 package csh
 
 import (
+	"sync"
 	"time"
 
 	"skewjoin/internal/exec"
@@ -51,6 +52,12 @@ type Config struct {
 	// buffers (the volcano model's upper operator); the final partial
 	// batch is delivered before Join returns.
 	Flush func(worker int) outbuf.FlushFunc
+	// Scatter selects the partitioner's scatter strategy (default
+	// radix.ScatterAuto); both strategies are output-equivalent.
+	Scatter radix.ScatterMode
+	// Sched selects the dynamic task queue used by partition pass 2 and
+	// the NM-join phase (default radix.SchedAtomic).
+	Sched radix.SchedMode
 }
 
 // Defaults fills zero fields with the paper's example parameters.
@@ -132,7 +139,10 @@ func Join(r, s relation.Relation, cfg Config) Result {
 	cfg = cfg.Defaults()
 	var res Result
 	var timer exec.PhaseTimer
-	rcfg := radix.Config{Threads: cfg.Threads, Bits1: cfg.Bits1, Bits2: cfg.Bits2}
+	rcfg := radix.Config{
+		Threads: cfg.Threads, Bits1: cfg.Bits1, Bits2: cfg.Bits2,
+		Scatter: cfg.Scatter, Sched: cfg.Sched,
+	}
 	res.Stats.Fanout = rcfg.Fanout()
 
 	// Phase 1: detect skewed keys through sampling (before partitioning).
@@ -174,9 +184,25 @@ func Join(r, s relation.Relation, cfg Config) Result {
 		if len(skewedKeys) > 0 {
 			// Probe the skew checkup table once per tuple, in parallel, to
 			// mark diverted tuples; the partition scans then test one
-			// array slot per tuple.
+			// array slot per tuple. S's marking pass is independent of R's
+			// partitioning, so the two overlap with the worker pool split
+			// between them; S's partitioning itself must wait for the
+			// merged skewed R partitions its Handle reads.
 			rIDs := markSkewed(r, checkup, cfg.Threads)
-			sIDs := markSkewed(s, checkup, cfg.Threads)
+			var sIDs []int32
+			var wgS sync.WaitGroup
+			rc := rcfg
+			if cfg.Threads > 1 {
+				tR, tS := exec.SplitThreads(cfg.Threads, r.Len(), s.Len())
+				rc.Threads = tR
+				wgS.Add(1)
+				go func() {
+					defer wgS.Done()
+					sIDs = markSkewed(s, checkup, tS)
+				}()
+			} else {
+				sIDs = markSkewed(s, checkup, 1)
+			}
 
 			// Per-worker local collection avoids contention on the skewed
 			// partitions; they are merged after the R pass.
@@ -184,7 +210,7 @@ func Join(r, s relation.Relation, cfg Config) Result {
 			for w := range local {
 				local[w] = make([][]relation.Payload, len(skewedKeys))
 			}
-			pr = radix.Partition(r.Tuples, rcfg, &radix.Diverter{
+			pr = radix.Partition(r.Tuples, rc, &radix.Diverter{
 				IDs: rIDs,
 				Handle: func(w int, t relation.Tuple, id int32) {
 					local[w][id] = append(local[w][id], t.Payload)
@@ -197,6 +223,7 @@ func Join(r, s relation.Relation, cfg Config) Result {
 				}
 				res.Stats.SkewedTuplesR += len(skewedR[id])
 			}
+			wgS.Wait()
 
 			skewedS = make([]uint64, cfg.Threads)
 			ps = radix.Partition(s.Tuples, rcfg, &radix.Diverter{
@@ -209,6 +236,19 @@ func Join(r, s relation.Relation, cfg Config) Result {
 					skewedS[w]++
 				},
 			})
+		} else if cfg.Threads > 1 {
+			// No skewed keys detected: the R and S passes are fully
+			// independent, exactly as in Cbase — overlap them.
+			rc, sc := rcfg, rcfg
+			rc.Threads, sc.Threads = exec.SplitThreads(cfg.Threads, r.Len(), s.Len())
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pr = radix.Partition(r.Tuples, rc, nil)
+			}()
+			ps = radix.Partition(s.Tuples, sc, nil)
+			wg.Wait()
 		} else {
 			pr = radix.Partition(r.Tuples, rcfg, nil)
 			ps = radix.Partition(s.Tuples, rcfg, nil)
@@ -224,6 +264,7 @@ func Join(r, s relation.Relation, cfg Config) Result {
 		res.Stats.NM = joinphase.Run(pr, ps, joinphase.Config{
 			Threads:    cfg.Threads,
 			SkewFactor: cfg.SkewFactor,
+			Sched:      cfg.Sched,
 		}, bufs)
 	})
 

@@ -68,27 +68,57 @@ func min(a, b int) int {
 	return b
 }
 
-// Queue is a dynamic task queue: tasks are appended before the parallel
-// phase starts, then workers drain it with Next. Dequeueing is a single
-// atomic fetch-add, which is how dynamic load balancing stays cheap even
-// with fine-grained tasks.
-type Queue[T any] struct {
-	mu    sync.Mutex
-	tasks []T
-	next  int
+// SplitThreads divides `threads` workers between two concurrent tasks in
+// proportion to their loads (e.g. tuple counts), guaranteeing each side at
+// least one worker. The partition phase uses it to overlap the independent
+// R and S partitioning passes instead of running them back-to-back.
+func SplitThreads(threads int, loadA, loadB int) (a, b int) {
+	if threads < 2 {
+		return 1, 1 // caller must run the sides sequentially
+	}
+	if loadA <= 0 && loadB <= 0 {
+		loadA, loadB = 1, 1
+	}
+	a = int(float64(threads)*float64(loadA)/float64(loadA+loadB) + 0.5)
+	if a < 1 {
+		a = 1
+	}
+	if a > threads-1 {
+		a = threads - 1
+	}
+	return a, threads - a
 }
 
-// NewQueue returns a queue pre-loaded with the given tasks.
+// Queue is a dynamic task queue: tasks are appended before the parallel
+// phase starts, then workers drain it with Next. Dequeueing from the
+// initial task set is a single atomic fetch-add on an immutable snapshot —
+// how dynamic load balancing stays cheap even with fine-grained tasks.
+// Tasks pushed while draining (Cbase's split-task pattern) land in a small
+// mutex-guarded overflow list, so the locked slow path is taken only once
+// the snapshot is exhausted and concurrent Push is still possible.
+type Queue[T any] struct {
+	base []T          // immutable after NewQueue; the fetch-add fast path
+	next atomic.Int64 // claim cursor into base; may overshoot len(base)
+
+	mu       sync.Mutex // guards over and overNext
+	over     []T        // tasks pushed during draining
+	overNext int
+}
+
+// NewQueue returns a queue pre-loaded with the given tasks. The slice is
+// retained as the queue's immutable fast-path snapshot and must not be
+// modified by the caller afterwards.
 func NewQueue[T any](tasks []T) *Queue[T] {
-	return &Queue[T]{tasks: tasks}
+	return &Queue[T]{base: tasks}
 }
 
 // Push appends a task. It is safe to call concurrently with Next, which the
 // join phase needs when a large task is split into sub-tasks on the fly
-// (Cbase's skew handling).
+// (Cbase's skew handling). Pushed tasks go to the overflow list; they never
+// invalidate the lock-free snapshot other workers are draining.
 func (q *Queue[T]) Push(t T) {
 	q.mu.Lock()
-	q.tasks = append(q.tasks, t)
+	q.over = append(q.over, t)
 	q.mu.Unlock()
 }
 
@@ -96,6 +126,118 @@ func (q *Queue[T]) Push(t T) {
 // of the call. A worker loop should retry via Drain rather than Next when
 // other workers may still Push.
 func (q *Queue[T]) Next() (t T, ok bool) {
+	// Fast path: claim a slot in the immutable snapshot with one atomic
+	// fetch-add. No lock, and no contention beyond the cursor cache line.
+	if i := q.next.Add(1) - 1; i < int64(len(q.base)) {
+		return q.base[i], true
+	}
+	// Slow path: the snapshot is exhausted; fall back to the overflow list,
+	// which a concurrent Push may still be growing.
+	q.mu.Lock()
+	if q.overNext < len(q.over) {
+		t = q.over[q.overNext]
+		q.overNext++
+		ok = true
+	}
+	q.mu.Unlock()
+	return t, ok
+}
+
+// Len returns the total number of tasks ever pushed.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.base) + len(q.over)
+}
+
+// Drain runs fn on every task using `threads` workers until the queue is
+// fully drained, including tasks pushed by fn itself while draining.
+func (q *Queue[T]) Drain(threads int, fn func(worker int, t T)) {
+	drainQueue[T](q, threads, fn)
+}
+
+// nexter is the dequeue interface drainQueue needs; Queue and MutexQueue
+// both provide it.
+type nexter[T any] interface {
+	Next() (T, bool)
+}
+
+// drainQueue implements Drain for both queue variants. The in-flight
+// counter makes the termination condition exact: the queue is done when it
+// is empty and no worker is still executing a task that could push more.
+func drainQueue[T any](q nexter[T], threads int, fn func(worker int, t T)) {
+	var inflight atomic.Int64
+	Parallel(threads, func(worker int) {
+		idle := 0
+		for {
+			t, ok := q.Next()
+			if !ok {
+				if inflight.Load() != 0 {
+					// Someone is still working and may push sub-tasks. Back
+					// off instead of hammering the queue: the first rounds
+					// yield, then sleeps grow exponentially so a long final
+					// task doesn't burn the other workers' cores.
+					idle++
+					backoff(idle)
+					continue
+				}
+				// Queue empty and nobody in flight. Re-poll once to close
+				// the race between a Push and the in-flight decrement; a
+				// task surfacing here must be processed, not dropped.
+				t, ok = q.Next()
+				if !ok {
+					return
+				}
+			}
+			idle = 0
+			inflight.Add(1)
+			fn(worker, t)
+			inflight.Add(-1)
+		}
+	})
+}
+
+// backoff sleeps an idle drain worker: a few yields first (sub-tasks are
+// usually pushed within microseconds), then exponentially growing sleeps
+// capped at ~64us so wakeup latency stays far below any real task.
+func backoff(idle int) {
+	const yields = 4
+	if idle <= yields {
+		runtime.Gosched()
+		return
+	}
+	shift := idle - yields - 1
+	if shift > 6 {
+		shift = 6
+	}
+	time.Sleep(time.Microsecond << shift)
+}
+
+// MutexQueue is the seed implementation of the dynamic task queue: one
+// mutex guards both the task list and the dequeue cursor. It is retained
+// solely as the baseline the lock-free Queue is benchmarked against (see
+// internal/bench's partition report and BenchmarkQueueDrain); the join
+// algorithms select it via radix.SchedMutex.
+type MutexQueue[T any] struct {
+	mu    sync.Mutex
+	tasks []T
+	next  int
+}
+
+// NewMutexQueue returns a mutex-guarded queue pre-loaded with tasks.
+func NewMutexQueue[T any](tasks []T) *MutexQueue[T] {
+	return &MutexQueue[T]{tasks: tasks}
+}
+
+// Push appends a task; safe concurrently with Next.
+func (q *MutexQueue[T]) Push(t T) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+}
+
+// Next dequeues one task under the queue mutex.
+func (q *MutexQueue[T]) Next() (t T, ok bool) {
 	q.mu.Lock()
 	if q.next < len(q.tasks) {
 		t = q.tasks[q.next]
@@ -107,41 +249,16 @@ func (q *Queue[T]) Next() (t T, ok bool) {
 }
 
 // Len returns the total number of tasks ever pushed.
-func (q *Queue[T]) Len() int {
+func (q *MutexQueue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.tasks)
 }
 
 // Drain runs fn on every task using `threads` workers until the queue is
-// fully drained, including tasks pushed by fn itself while draining. The
-// in-flight counter makes the termination condition exact: the queue is done
-// when it is empty and no worker is still executing a task that could push
-// more.
-func (q *Queue[T]) Drain(threads int, fn func(worker int, t T)) {
-	var inflight atomic.Int64
-	Parallel(threads, func(worker int) {
-		for {
-			t, ok := q.Next()
-			if !ok {
-				if inflight.Load() != 0 {
-					// Someone is still working and may push sub-tasks.
-					runtime.Gosched()
-					continue
-				}
-				// Queue empty and nobody in flight. Re-poll once to close
-				// the race between a Push and the in-flight decrement; a
-				// task surfacing here must be processed, not dropped.
-				t, ok = q.Next()
-				if !ok {
-					return
-				}
-			}
-			inflight.Add(1)
-			fn(worker, t)
-			inflight.Add(-1)
-		}
-	})
+// fully drained, including tasks pushed by fn itself while draining.
+func (q *MutexQueue[T]) Drain(threads int, fn func(worker int, t T)) {
+	drainQueue[T](q, threads, fn)
 }
 
 // PhaseTimer records named phase durations for an algorithm run, which is

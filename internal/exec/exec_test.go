@@ -202,6 +202,145 @@ func TestQueueConcurrentDequeueUnique(t *testing.T) {
 	}
 }
 
+func TestMutexQueueDrainProcessesEveryTask(t *testing.T) {
+	tasks := make([]int, 1000)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	q := NewMutexQueue(tasks)
+	var seen [1000]atomic.Int32
+	q.Drain(4, func(w, task int) { seen[task].Add(1) })
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("task %d processed %d times", i, got)
+		}
+	}
+}
+
+func TestMutexQueueDrainWithDynamicPushes(t *testing.T) {
+	q := NewMutexQueue([]int{0})
+	var processed atomic.Int32
+	const depth = 6
+	q.Drain(4, func(w, task int) {
+		processed.Add(1)
+		if task < depth {
+			q.Push(task + 1)
+			q.Push(task + 1)
+		}
+	})
+	want := int32(1<<(depth+1) - 1)
+	if got := processed.Load(); got != want {
+		t.Errorf("processed %d tasks, want %d", got, want)
+	}
+}
+
+func TestQueuePushBeforeAndDuringDrain(t *testing.T) {
+	// Tasks pushed before Drain starts (after NewQueue) live in the
+	// overflow list; they must be drained alongside the snapshot.
+	q := NewQueue([]int{0, 1})
+	q.Push(2)
+	q.Push(3)
+	var seen [8]atomic.Int32
+	q.Drain(3, func(w, task int) {
+		seen[task].Add(1)
+		if task == 3 {
+			q.Push(4)
+		}
+	})
+	for task := 0; task <= 4; task++ {
+		if got := seen[task].Load(); got != 1 {
+			t.Errorf("task %d processed %d times, want 1", task, got)
+		}
+	}
+	if got := q.Len(); got != 5 {
+		t.Errorf("Len = %d, want 5", got)
+	}
+}
+
+func TestQueueNextManyCallsPastExhaustion(t *testing.T) {
+	// The fetch-add cursor overshoots the snapshot on every failed Next;
+	// overshoot must never corrupt later overflow dequeues.
+	q := NewQueue([]int{1})
+	q.Next()
+	for i := 0; i < 100; i++ {
+		if _, ok := q.Next(); ok {
+			t.Fatal("Next returned ok on empty queue")
+		}
+	}
+	q.Push(2)
+	if v, ok := q.Next(); !ok || v != 2 {
+		t.Errorf("Next after overshoot = %d, %v; want 2, true", v, ok)
+	}
+}
+
+func TestQueueNilAndEmptySnapshot(t *testing.T) {
+	q := NewQueue[int](nil)
+	if _, ok := q.Next(); ok {
+		t.Error("Next on nil-snapshot queue returned ok")
+	}
+	q.Push(7)
+	if v, ok := q.Next(); !ok || v != 7 {
+		t.Errorf("Next = %d, %v; want 7, true", v, ok)
+	}
+	q.Drain(2, func(w, task int) { t.Errorf("unexpected task %d", task) })
+}
+
+func TestSplitThreads(t *testing.T) {
+	for _, tc := range []struct {
+		threads, loadA, loadB int
+		wantA, wantB          int
+	}{
+		{2, 1, 1, 1, 1},
+		{8, 1, 1, 4, 4},
+		{8, 3, 1, 6, 2},
+		{8, 1, 0, 7, 1}, // one side empty still gets a worker ceiling
+		{8, 0, 1, 1, 7}, // ...and the other at least one
+		{8, 0, 0, 4, 4}, // degenerate loads fall back to an even split
+		{3, 1000, 1, 2, 1},
+	} {
+		a, b := SplitThreads(tc.threads, tc.loadA, tc.loadB)
+		if a != tc.wantA || b != tc.wantB {
+			t.Errorf("SplitThreads(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.threads, tc.loadA, tc.loadB, a, b, tc.wantA, tc.wantB)
+		}
+		if a+b != tc.threads || a < 1 || b < 1 {
+			t.Errorf("SplitThreads(%d, %d, %d) = (%d, %d): invalid split",
+				tc.threads, tc.loadA, tc.loadB, a, b)
+		}
+	}
+}
+
+func TestMutexQueueMatchesQueueSemantics(t *testing.T) {
+	// Differential check: both queue variants drain the same dynamic task
+	// tree to the same multiset.
+	run := func(drain func(fn func(w, task int)), push func(int)) map[int]int {
+		var mu sync.Mutex
+		counts := make(map[int]int)
+		drain(func(w, task int) {
+			mu.Lock()
+			counts[task]++
+			mu.Unlock()
+			if task < 50 {
+				push(task*2 + 100)
+			}
+		})
+		return counts
+	}
+	init := []int{1, 2, 3, 4, 5}
+	a := NewQueue(append([]int(nil), init...))
+	b := NewMutexQueue(append([]int(nil), init...))
+	ca := run(func(fn func(w, task int)) { a.Drain(4, fn) }, a.Push)
+	cb := run(func(fn func(w, task int)) { b.Drain(4, fn) }, b.Push)
+	if len(ca) != len(cb) {
+		t.Fatalf("distinct tasks: %d vs %d", len(ca), len(cb))
+	}
+	for task, n := range ca {
+		if cb[task] != n {
+			t.Errorf("task %d: %d vs %d executions", task, n, cb[task])
+		}
+	}
+}
+
 func TestPhaseTimer(t *testing.T) {
 	var pt PhaseTimer
 	pt.Time("a", func() { time.Sleep(time.Millisecond) })

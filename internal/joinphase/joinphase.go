@@ -27,6 +27,18 @@ type Config struct {
 	// average S partition size is split into probe sub-tasks. <= 0 disables
 	// splitting.
 	SkewFactor float64
+	// Sched selects the task-queue implementation (default radix.SchedAtomic,
+	// the lock-free fetch-add queue; radix.SchedMutex restores the seed's
+	// mutex-guarded queue for A/B benchmarks).
+	Sched radix.SchedMode
+}
+
+// taskQueue abstracts the two queue variants; the per-task dispatch cost is
+// negligible next to building and probing a hash table.
+type taskQueue interface {
+	Push(task)
+	Len() int
+	Drain(threads int, fn func(worker int, t task))
 }
 
 // Stats reports what happened inside the join phase.
@@ -70,7 +82,12 @@ func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 		}
 		tasks = append(tasks, task{part: p})
 	}
-	q := exec.NewQueue(tasks)
+	var q taskQueue
+	if cfg.Sched == radix.SchedMutex {
+		q = exec.NewMutexQueue(tasks)
+	} else {
+		q = exec.NewQueue(tasks)
+	}
 
 	type workerStat struct {
 		maxChain      int

@@ -13,6 +13,11 @@
 // queue drains. Two passes keep the per-pass fanout low, which is the radix
 // join's TLB-miss optimisation.
 //
+// Both passes can scatter through software write-combining buffers
+// (Config.Scatter, see scatter.go) and pass 2's task queue is lock-free by
+// default (Config.Sched); both knobs keep the output bit-for-bit identical
+// and exist so the variants can be benchmarked against each other.
+//
 // CSH reuses this machinery with a Diverter: tuples whose key is in the
 // skew checkup table bypass radix partitioning entirely and are handed to a
 // callback instead (appended to a skewed partition for R; joined on the fly
@@ -33,6 +38,15 @@ type Config struct {
 	// Total fanout is 2^(Bits1+Bits2). Bits2 == 0 selects single-pass
 	// partitioning.
 	Bits1, Bits2 uint32
+	// Scatter selects the scatter strategy (default ScatterAuto). Both
+	// strategies produce bit-for-bit identical partitions; the knob exists
+	// so benchmarks can A/B software write-combining against the seed's
+	// direct scatter.
+	Scatter ScatterMode
+	// Sched selects the task-queue implementation draining pass 2 (default
+	// SchedAtomic, the lock-free fetch-add queue). SchedMutex restores the
+	// seed's mutex-guarded queue for A/B benchmarks.
+	Sched SchedMode
 }
 
 // Fanout returns the total number of final partitions.
@@ -140,47 +154,95 @@ func passOne(src []relation.Tuple, cfg Config, div *Diverter) *Partitioned {
 
 	// Prefix sums: partition-major, thread-minor, so each thread owns a
 	// contention-free window inside every partition.
-	offsets := make([]int, fanout+1)
-	cursor := make([][]int, threads)
-	for w := range cursor {
-		cursor[w] = make([]int, fanout)
-	}
-	pos := 0
-	for p := 0; p < fanout; p++ {
-		offsets[p] = pos
-		for w := 0; w < threads; w++ {
-			cursor[w][p] = pos
-			pos += hist[w][p]
-		}
-	}
-	offsets[fanout] = pos
+	offsets, cursor := prefixSums(hist, fanout, threads)
+	pos := offsets[fanout]
 
 	// Second scan: contention-free scatter; diverted tuples are handled.
 	out := make([]relation.Tuple, pos)
+	useWC := cfg.Scatter.useWC(fanout)
 	exec.Parallel(threads, func(w int) {
-		cur := cursor[w]
 		lo, hi := exec.Segment(len(src), threads, w)
-		for i := lo; i < hi; i++ {
-			t := src[i]
-			if div != nil {
-				if id := div.IDs[i]; id >= 0 {
-					if div.Handle != nil {
-						div.Handle(w, t, id)
-					}
-					continue
-				}
-			}
-			p := hashfn.Radix(t.Key, 0, cfg.Bits1)
-			out[cur[p]] = t
-			cur[p]++
+		if useWC {
+			scatterWC(out, src, lo, hi, cursor[w], 0, cfg.Bits1, div, w, newWCBuf(fanout))
+		} else {
+			scatterDirect(out, src, lo, hi, cursor[w], 0, cfg.Bits1, div, w)
 		}
 	})
 	return &Partitioned{Data: out, Offsets: offsets, fanout: fanout}
 }
 
+// prefixCells is the (partition x thread) grid size above which the prefix
+// sums run partition-parallel; below it the serial scan wins because the
+// whole grid fits in cache and forking workers costs more than scanning.
+const prefixCells = 1 << 14
+
+// prefixSums turns the per-thread histograms into the partition offset
+// array and per-(thread, partition) scatter cursors. Layout is
+// partition-major, thread-minor: inside partition p, thread w's window
+// starts at cursor[w][p]. Large grids are computed in three phases —
+// block-local scans in parallel, a serial prefix over the block totals,
+// then a parallel fix-up — so the pass-1 barrier between the count and
+// copy scans no longer serialises on fanout x threads additions.
+func prefixSums(hist [][]int, fanout, threads int) (offsets []int, cursor [][]int) {
+	offsets = make([]int, fanout+1)
+	cursor = make([][]int, threads)
+	for w := range cursor {
+		cursor[w] = make([]int, fanout)
+	}
+	if threads == 1 || fanout*threads < prefixCells {
+		pos := 0
+		for p := 0; p < fanout; p++ {
+			offsets[p] = pos
+			for w := 0; w < threads; w++ {
+				cursor[w][p] = pos
+				pos += hist[w][p]
+			}
+		}
+		offsets[fanout] = pos
+		return offsets, cursor
+	}
+
+	// Phase A: each worker owns a block of partitions and computes
+	// block-relative positions plus its block total.
+	totals := make([]int, threads)
+	exec.Parallel(threads, func(b int) {
+		lo, hi := exec.Segment(fanout, threads, b)
+		pos := 0
+		for p := lo; p < hi; p++ {
+			offsets[p] = pos
+			for w := 0; w < threads; w++ {
+				cursor[w][p] = pos
+				pos += hist[w][p]
+			}
+		}
+		totals[b] = pos
+	})
+	// Phase B: serial prefix over the (few) block totals.
+	base := make([]int, threads+1)
+	for b := 0; b < threads; b++ {
+		base[b+1] = base[b] + totals[b]
+	}
+	// Phase C: shift every block by its base.
+	exec.Parallel(threads, func(b int) {
+		add := base[b]
+		if add == 0 {
+			return
+		}
+		lo, hi := exec.Segment(fanout, threads, b)
+		for p := lo; p < hi; p++ {
+			offsets[p] += add
+			for w := 0; w < threads; w++ {
+				cursor[w][p] += add
+			}
+		}
+	})
+	offsets[fanout] = base[threads]
+	return offsets, cursor
+}
+
 // passTwo sub-partitions each pass-1 partition on the next Bits2 bits.
 func passTwo(p1 *Partitioned, cfg Config) *Partitioned {
-	return passNext(p1, cfg.Bits1, cfg.Bits2, cfg.Threads)
+	return passNext(p1, cfg.Bits1, cfg.Bits2, cfg.Threads, cfg.Scatter, cfg.Sched)
 }
 
 // passNext refines every partition of p on the radix bits
@@ -188,7 +250,9 @@ func passTwo(p1 *Partitioned, cfg Config) *Partitioned {
 // partition is a partitioning task in a dynamic queue (the paper: "Cbase
 // views each partition as a partition task and adds it into a task queue
 // in the second pass"); its output stays inside its contiguous region.
-func passNext(p1 *Partitioned, shift, bits uint32, threads int) *Partitioned {
+// The queue never grows while draining, so with SchedAtomic every dequeue
+// takes the lock-free fetch-add fast path.
+func passNext(p1 *Partitioned, shift, bits uint32, threads int, scatter ScatterMode, sched SchedMode) *Partitioned {
 	fanPrev := p1.fanout
 	fanSub := 1 << bits
 	fanout := fanPrev * fanSub
@@ -202,8 +266,14 @@ func passNext(p1 *Partitioned, shift, bits uint32, threads int) *Partitioned {
 	}
 	subOffsets := make([][]int, fanPrev)
 
-	q := exec.NewQueue(tasks)
-	q.Drain(threads, func(_ int, t task) {
+	useWC := scatter.useWC(fanSub)
+	// Write-combining buffers are per worker, reused across tasks, and
+	// allocated lazily so idle workers cost nothing.
+	var wcBufs []*wcBuf
+	if useWC {
+		wcBufs = make([]*wcBuf, threads)
+	}
+	work := func(w int, t task) {
 		part := p1.Data[p1.Offsets[t.p]:p1.Offsets[t.p+1]]
 		base := p1.Offsets[t.p]
 		h := make([]int, fanSub+1)
@@ -216,14 +286,26 @@ func passNext(p1 *Partitioned, shift, bits uint32, threads int) *Partitioned {
 		offs := make([]int, fanSub+1)
 		copy(offs, h)
 		cur := make([]int, fanSub)
-		copy(cur, h[:fanSub])
-		for _, tp := range part {
-			s := hashfn.Radix(tp.Key, shift, bits)
-			out[base+cur[s]] = tp
-			cur[s]++
+		for s := range cur {
+			cur[s] = base + h[s]
+		}
+		if useWC {
+			buf := wcBufs[w]
+			if buf == nil {
+				buf = newWCBuf(fanSub)
+				wcBufs[w] = buf
+			}
+			scatterWC(out, part, 0, len(part), cur, shift, bits, nil, w, buf)
+		} else {
+			scatterDirect(out, part, 0, len(part), cur, shift, bits, nil, w)
 		}
 		subOffsets[t.p] = offs
-	})
+	}
+	if sched == SchedMutex {
+		exec.NewMutexQueue(tasks).Drain(threads, work)
+	} else {
+		exec.NewQueue(tasks).Drain(threads, work)
+	}
 
 	for p := 0; p < fanPrev; p++ {
 		base := p1.Offsets[p]
@@ -256,7 +338,7 @@ func MultiPass(src []relation.Tuple, threads int, bits []uint32, div *Diverter) 
 		if b == 0 {
 			continue
 		}
-		p = passNext(p, shift, b, threads)
+		p = passNext(p, shift, b, threads, ScatterAuto, SchedAtomic)
 		shift += b
 	}
 	return p

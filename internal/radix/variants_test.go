@@ -1,0 +1,223 @@
+package radix
+
+import (
+	"testing"
+
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+// TestScatterVariantsBitIdentical pins the optimisation contract: the
+// write-combining scatter must produce exactly the same Data and Offsets
+// as the direct scatter — not merely an equivalent multiset — across
+// thread counts, bit splits, and skew levels.
+func TestScatterVariantsBitIdentical(t *testing.T) {
+	skewed := zipf.MustNew(zipf.Config{Theta: 1.0, Universe: 4000, Seed: 11}).NewRelation(30000, 1).Tuples
+	for _, src := range [][]relation.Tuple{randomTuples(30000, 10), skewed} {
+		for _, base := range []Config{
+			{Threads: 1, Bits1: 4, Bits2: 0},
+			{Threads: 1, Bits1: 6, Bits2: 5},
+			{Threads: 4, Bits1: 6, Bits2: 5},
+			{Threads: 3, Bits1: 9, Bits2: 0},
+			{Threads: 8, Bits1: 5, Bits2: 7},
+		} {
+			direct, wc := base, base
+			direct.Scatter = ScatterDirect
+			wc.Scatter = ScatterWC
+			pd := Partition(src, direct, nil)
+			pw := Partition(src, wc, nil)
+			if len(pd.Data) != len(pw.Data) {
+				t.Fatalf("cfg %+v: %d vs %d tuples", base, len(pd.Data), len(pw.Data))
+			}
+			for i := range pd.Data {
+				if pd.Data[i] != pw.Data[i] {
+					t.Fatalf("cfg %+v: Data differs at %d: %v vs %v", base, i, pd.Data[i], pw.Data[i])
+				}
+			}
+			for i := range pd.Offsets {
+				if pd.Offsets[i] != pw.Offsets[i] {
+					t.Fatalf("cfg %+v: Offsets differ at %d", base, i)
+				}
+			}
+			if bad := VerifyPlacement(pw, wc); bad >= 0 {
+				t.Fatalf("cfg %+v: wc placement violation at %d", base, bad)
+			}
+		}
+	}
+}
+
+// TestSchedVariantsEquivalent checks that the mutex queue baseline and the
+// lock-free queue drive pass 2 to identical results.
+func TestSchedVariantsEquivalent(t *testing.T) {
+	src := randomTuples(20000, 12)
+	for _, scatter := range []ScatterMode{ScatterDirect, ScatterWC} {
+		atomicCfg := Config{Threads: 4, Bits1: 5, Bits2: 4, Scatter: scatter, Sched: SchedAtomic}
+		mutexCfg := atomicCfg
+		mutexCfg.Sched = SchedMutex
+		pa := Partition(src, atomicCfg, nil)
+		pm := Partition(src, mutexCfg, nil)
+		for i := range pa.Data {
+			if pa.Data[i] != pm.Data[i] {
+				t.Fatalf("scatter %v: Data differs at %d", scatter, i)
+			}
+		}
+		for i := range pa.Offsets {
+			if pa.Offsets[i] != pm.Offsets[i] {
+				t.Fatalf("scatter %v: Offsets differ at %d", scatter, i)
+			}
+		}
+	}
+}
+
+// TestWCScatterWithDiverter checks that diversion behaves identically under
+// the write-combining scatter: diverted tuples are handled, not staged.
+func TestWCScatterWithDiverter(t *testing.T) {
+	src := randomTuples(12000, 13)
+	divert := func() *Diverter {
+		var handled []relation.Tuple
+		return &Diverter{
+			IDs:    markWhere(src, func(tp relation.Tuple) bool { return tp.Key%5 == 0 }),
+			Handle: func(w int, tp relation.Tuple, id int32) { handled = append(handled, tp) },
+		}
+	}
+	cfg := Config{Threads: 1, Bits1: 6, Bits2: 4}
+	cfgD, cfgW := cfg, cfg
+	cfgD.Scatter = ScatterDirect
+	cfgW.Scatter = ScatterWC
+	pd := Partition(src, cfgD, divert())
+	pw := Partition(src, cfgW, divert())
+	if pd.Total() != pw.Total() {
+		t.Fatalf("totals differ: %d vs %d", pd.Total(), pw.Total())
+	}
+	for i := range pd.Data {
+		if pd.Data[i] != pw.Data[i] {
+			t.Fatalf("Data differs at %d", i)
+		}
+	}
+}
+
+// TestScatterModeAuto pins the auto heuristic's envelope: write-combining
+// only inside [wcAutoMinFanout, wcMaxFanout].
+func TestScatterModeAuto(t *testing.T) {
+	if ScatterAuto.useWC(wcAutoMinFanout - 1) {
+		t.Error("auto chose wc below the minimum fanout")
+	}
+	if !ScatterAuto.useWC(wcAutoMinFanout) {
+		t.Error("auto chose direct at the minimum fanout")
+	}
+	if !ScatterAuto.useWC(wcMaxFanout) {
+		t.Error("auto chose direct at the maximum fanout")
+	}
+	if ScatterAuto.useWC(wcMaxFanout * 2) {
+		t.Error("auto chose wc above the maximum fanout")
+	}
+	if ScatterDirect.useWC(1 << 12) {
+		t.Error("direct mode chose wc")
+	}
+	if !ScatterWC.useWC(2) {
+		t.Error("wc mode chose direct")
+	}
+}
+
+// countDiverted returns how many IDs mark their tuple as diverted.
+func countDiverted(ids []int32) int {
+	n := 0
+	for _, id := range ids {
+		if id >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMultiPassWithDiverter drives MultiPass through a diverter: diverted
+// tuples must be handed to Handle exactly once and never partitioned, the
+// rest must satisfy VerifyPlacement, and nothing may be dropped.
+func TestMultiPassWithDiverter(t *testing.T) {
+	src := randomTuples(15000, 14)
+	for _, tc := range []struct {
+		name string
+		bits []uint32
+	}{
+		{"single-pass", []uint32{6}},
+		{"two-pass", []uint32{4, 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			handled := make(map[relation.Payload]int)
+			div := &Diverter{
+				IDs:    markWhere(src, func(tp relation.Tuple) bool { return tp.Key%7 == 0 }),
+				Handle: func(w int, tp relation.Tuple, id int32) { handled[tp.Payload]++ },
+			}
+			diverted := countDiverted(div.IDs)
+			p := MultiPass(src, 1, tc.bits, div)
+
+			if p.Total() != len(src)-diverted {
+				t.Fatalf("partitioned %d tuples, want %d", p.Total(), len(src)-diverted)
+			}
+			if len(handled) != diverted {
+				t.Fatalf("handled %d distinct tuples, want %d", len(handled), diverted)
+			}
+			for pay, n := range handled {
+				if n != 1 {
+					t.Fatalf("payload %d handled %d times", pay, n)
+				}
+			}
+			// Placement: MultiPass with bits [b] or [b1, b2] matches the
+			// two-pass Config partition index layout exactly.
+			cfg := Config{Bits1: tc.bits[0]}
+			if len(tc.bits) > 1 {
+				cfg.Bits2 = tc.bits[1]
+			}
+			if bad := VerifyPlacement(p, cfg); bad >= 0 {
+				t.Fatalf("placement violation at %d", bad)
+			}
+			// Nothing dropped and nothing duplicated: partitioned tuples plus
+			// handled tuples reassemble the source multiset.
+			seen := make(map[relation.Payload]int, len(src))
+			for _, tp := range p.Data {
+				seen[tp.Payload]++
+			}
+			for pay := range handled {
+				seen[pay]++
+			}
+			for _, tp := range src {
+				seen[tp.Payload]--
+			}
+			for pay, n := range seen {
+				if n != 0 {
+					t.Fatalf("payload %d count off by %d", pay, n)
+				}
+			}
+			// Diverted keys must not appear in any partition.
+			for _, tp := range p.Data {
+				if tp.Key%7 == 0 {
+					t.Fatalf("diverted key %d leaked into partitions", tp.Key)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiPassDiverterDivertsEverything is the degenerate edge: every
+// tuple diverted leaves empty partitions but loses nothing.
+func TestMultiPassDiverterDivertsEverything(t *testing.T) {
+	src := randomTuples(3000, 15)
+	var handled int
+	div := &Diverter{
+		IDs:    markWhere(src, func(relation.Tuple) bool { return true }),
+		Handle: func(w int, tp relation.Tuple, id int32) { handled++ },
+	}
+	p := MultiPass(src, 1, []uint32{4, 3}, div)
+	if p.Total() != 0 {
+		t.Errorf("partitioned %d tuples, want 0", p.Total())
+	}
+	if handled != len(src) {
+		t.Errorf("handled %d tuples, want %d", handled, len(src))
+	}
+	if p.Fanout() != 1<<7 {
+		t.Errorf("fanout %d, want %d", p.Fanout(), 1<<7)
+	}
+	if bad := VerifyPlacement(p, Config{Bits1: 4, Bits2: 3}); bad >= 0 {
+		t.Errorf("placement violation at %d on empty partitions", bad)
+	}
+}

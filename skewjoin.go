@@ -45,6 +45,7 @@ import (
 	"skewjoin/internal/npj"
 	"skewjoin/internal/oracle"
 	"skewjoin/internal/outbuf"
+	"skewjoin/internal/radix"
 	"skewjoin/internal/relation"
 	"skewjoin/internal/smj"
 	"skewjoin/internal/zipf"
@@ -63,6 +64,30 @@ type (
 	Relation = relation.Relation
 	// DeviceConfig configures the simulated GPU for Gbase and GSH.
 	DeviceConfig = gpusim.Config
+	// ScatterMode selects the CPU partitioner's scatter strategy.
+	ScatterMode = radix.ScatterMode
+	// SchedMode selects the CPU dynamic-task-queue implementation.
+	SchedMode = radix.SchedMode
+)
+
+// Partition scatter strategies (Options.Scatter). All strategies produce
+// bit-for-bit identical partitions; the knob exists for benchmarking.
+const (
+	// ScatterAuto picks write-combining at high pass fanouts, direct
+	// otherwise (the default).
+	ScatterAuto = radix.ScatterAuto
+	// ScatterDirect always writes tuples straight to their partitions.
+	ScatterDirect = radix.ScatterDirect
+	// ScatterWC always stages tuples in software write-combining buffers.
+	ScatterWC = radix.ScatterWC
+)
+
+// Task-queue implementations (Options.Sched).
+const (
+	// SchedAtomic is the lock-free fetch-add task queue (the default).
+	SchedAtomic = radix.SchedAtomic
+	// SchedMutex is the fully mutex-guarded baseline queue.
+	SchedMutex = radix.SchedMutex
 )
 
 // Algorithm selects a join implementation.
@@ -125,6 +150,12 @@ type Options struct {
 	// partial batch before Join returns. Batches are ring-backed and must
 	// not be retained. The factory itself is called sequentially.
 	Consumer func(worker int) ResultConsumer
+	// Scatter selects the CPU partitioner's scatter strategy for Cbase and
+	// CSH (default ScatterAuto). Output is identical across strategies.
+	Scatter ScatterMode
+	// Sched selects the CPU dynamic-task-queue implementation for Cbase
+	// and CSH (default SchedAtomic).
+	Sched SchedMode
 }
 
 // JoinResult is one join output tuple as delivered to consumers.
@@ -187,6 +218,7 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 		res := cbase.Join(r, s, cbase.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			Scatter: opts.Scatter, Sched: opts.Sched,
 		})
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case CbaseNPJ:
@@ -199,6 +231,7 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			SampleRate: opts.SampleRate, SkewThreshold: opts.SkewThreshold,
 			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			Scatter: opts.Scatter, Sched: opts.Sched,
 		})
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case Gbase:
