@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-smoke bench-partition experiments examples clean
+.PHONY: all build vet test race fuzz bench bench-smoke bench-partition experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -46,6 +46,11 @@ examples:
 	$(GO) run ./examples/devicetuning
 	$(GO) run ./examples/pipeline
 	$(GO) run ./examples/planner
+
+# End-to-end smoke test of the join daemon: build skewjoind/skewjoinctl,
+# register relations, run an auto join, force a 429, check /stats.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # The artifacts recorded in EXPERIMENTS.md.
 artifacts:

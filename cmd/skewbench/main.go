@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -156,19 +157,48 @@ func run(name string, cfg bench.Config) (printer, bool, error) {
 	}
 }
 
-// writeJSON writes v as indented JSON to path.
+// writeJSON writes v as indented JSON to path, atomically: parent
+// directories are created as needed, the JSON is written to a temporary
+// file in the target directory, fsynced, and renamed into place — an
+// interrupted run never leaves a torn or half-written report behind.
 func writeJSON(path string, v any) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp defaults to 0600; match os.Create's umask-filtered 0666.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func parseZipfs(s string) ([]float64, error) {

@@ -1,0 +1,282 @@
+// Command skewjoinctl is the line-oriented client for skewjoind: thin
+// subcommands over the daemon's HTTP+JSON API, printing one line per fact
+// so output composes with grep/awk.
+//
+//	skewjoinctl gen r 262144 0.9            # register a generated relation
+//	skewjoinctl gen s 262144 0.9 -stream 1  # same key universe, new stream
+//	skewjoinctl load orders /data/orders.skjr
+//	skewjoinctl relations
+//	skewjoinctl join r s                    # auto-planned
+//	skewjoinctl join r s -alg cbase -threads 2 -consumer topk -k 3
+//	skewjoinctl stats
+//	skewjoinctl drop r
+//
+// The daemon address comes from -addr (before the subcommand) or the
+// SKEWJOIND_ADDR environment variable, defaulting to localhost:8080.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+
+	"skewjoin/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", defaultAddr(), "daemon address (host:port)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: "http://" + *addr}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "gen":
+		err = c.gen(rest)
+	case "load":
+		err = c.load(rest)
+	case "relations":
+		err = c.relations()
+	case "drop":
+		err = c.drop(rest)
+	case "join":
+		err = c.join(rest)
+	case "stats":
+		err = c.stats()
+	default:
+		fmt.Fprintf(os.Stderr, "skewjoinctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skewjoinctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func defaultAddr() string {
+	if a := os.Getenv("SKEWJOIND_ADDR"); a != "" {
+		return a
+	}
+	return "localhost:8080"
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: skewjoinctl [-addr host:port] <command> [args]
+
+commands:
+  gen <name> <n> <theta> [-seed N] [-stream N]   register a generated zipf relation
+  load <name> <path>                             register a relation file (server-local path)
+  relations                                      list the catalog
+  drop <name>                                    remove a relation
+  join <r> <s> [-alg A] [-backend cpu|gpu] [-threads N]
+               [-timeout-ms N] [-consumer summary|count|topk] [-k N]
+  stats                                          admission counters and latency histograms
+`)
+}
+
+type client struct{ base string }
+
+// call sends body (nil for none) and decodes the JSON response into out,
+// turning every non-2xx status into a descriptive error.
+func (c *client) call(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e service.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func printRelation(info service.RelationInfo) {
+	fmt.Printf("%s\ttuples=%d\tdistinct=%d\tmax_key_freq=%d\tsource=%s\n",
+		info.Name, info.Tuples, info.DistinctKeys, info.MaxKeyFreq, info.Source)
+}
+
+func (c *client) gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "generator seed (same seed = joinable key universe)")
+	stream := fs.Int64("stream", 0, "generator stream within the seed's universe")
+	args, err := splitPositional(fs, args, 3)
+	if err != nil {
+		return fmt.Errorf("gen: %v (want: gen <name> <n> <theta>)", err)
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("gen: n %q: %v", args[1], err)
+	}
+	theta, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("gen: theta %q: %v", args[2], err)
+	}
+	req := service.RegisterRequest{
+		Name:     args[0],
+		Generate: &service.GenerateSpec{N: n, Zipf: theta, Seed: *seed, Stream: *stream},
+	}
+	var info service.RelationInfo
+	if err := c.call("POST", "/relations", req, &info); err != nil {
+		return err
+	}
+	printRelation(info)
+	return nil
+}
+
+func (c *client) load(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("load: want: load <name> <path>")
+	}
+	req := service.RegisterRequest{Name: args[0], Path: args[1]}
+	var info service.RelationInfo
+	if err := c.call("POST", "/relations", req, &info); err != nil {
+		return err
+	}
+	printRelation(info)
+	return nil
+}
+
+func (c *client) relations() error {
+	var infos []service.RelationInfo
+	if err := c.call("GET", "/relations", nil, &infos); err != nil {
+		return err
+	}
+	for _, info := range infos {
+		printRelation(info)
+	}
+	return nil
+}
+
+func (c *client) drop(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("drop: want: drop <name>")
+	}
+	if err := c.call("DELETE", "/relations/"+args[0], nil, nil); err != nil {
+		return err
+	}
+	fmt.Printf("dropped %s\n", args[0])
+	return nil
+}
+
+func (c *client) join(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	alg := fs.String("alg", "auto", "algorithm, or auto for planner dispatch")
+	backend := fs.String("backend", "", "auto target: cpu (default) or gpu")
+	threads := fs.Int("threads", 0, "thread weight against the server budget (0 = whole budget)")
+	timeoutMS := fs.Int64("timeout-ms", 0, "request deadline in ms (0 = server default)")
+	consumer := fs.String("consumer", "", "result consumer: summary (default), count, or topk")
+	k := fs.Int("k", 0, "heavy-hitter count for -consumer topk")
+	args, err := splitPositional(fs, args, 2)
+	if err != nil {
+		return fmt.Errorf("join: %v (want: join <r> <s>)", err)
+	}
+	req := service.JoinRequest{
+		R: args[0], S: args[1],
+		Algorithm: *alg, Backend: *backend, Threads: *threads,
+		TimeoutMS: *timeoutMS, Consumer: *consumer, K: *k,
+	}
+	var resp service.JoinResponse
+	if err := c.call("POST", "/join", req, &resp); err != nil {
+		return err
+	}
+	mode := "pinned"
+	if resp.Auto {
+		mode = "auto"
+	}
+	fmt.Printf("algorithm=%s (%s)\tmatches=%d\tchecksum=%#x\twait_ms=%.2f\tjoin_ms=%.2f\n",
+		resp.Algorithm, mode, resp.Matches, resp.Checksum, resp.WaitMS, resp.JoinMS)
+	if p := resp.Planner; p != nil {
+		fmt.Printf("planner\tskew_detected=%v\ttop_key_estimate=%d\tsample_size=%d\n",
+			p.SkewDetected, p.TopKeyEstimate, p.SampleSize)
+	}
+	for _, ph := range resp.Phases {
+		fmt.Printf("phase\t%s\t%.3fms\n", ph.Name, ph.MS)
+	}
+	if resp.Rows != nil {
+		fmt.Printf("rows\t%d\n", *resp.Rows)
+	}
+	for _, kw := range resp.TopKeys {
+		fmt.Printf("topkey\t%d\tweight=%d\n", kw.Key, kw.Weight)
+	}
+	return nil
+}
+
+func (c *client) stats() error {
+	var st service.StatsResponse
+	if err := c.call("GET", "/stats", nil, &st); err != nil {
+		return err
+	}
+	a := st.Admission
+	fmt.Printf("admission\tbudget=%d\tqueue=%d\tin_use=%d\tin_flight=%d\tqueued=%d\n",
+		a.ThreadBudget, a.MaxQueue, a.ThreadsInUse, a.InFlight, a.Queued)
+	fmt.Printf("counters\tsubmitted=%d\tadmitted=%d\trejected=%d\trejected_full=%d\trejected_timeout=%d\tcompleted=%d\n",
+		a.Submitted, a.Admitted, a.Rejected, a.RejectedFull, a.RejectedTimeout, a.Completed)
+	fmt.Printf("relations\t%d registered\n", len(st.Relations))
+	algs := make([]string, 0, len(st.Algorithms))
+	for alg := range st.Algorithms {
+		algs = append(algs, alg)
+	}
+	sort.Strings(algs)
+	for _, alg := range algs {
+		as := st.Algorithms[alg]
+		mean := 0.0
+		if as.Count > 0 {
+			mean = as.TotalMS / float64(as.Count)
+		}
+		fmt.Printf("algorithm\t%s\tcount=%d\terrors=%d\tmean_ms=%.2f\tmax_ms=%.2f\n",
+			alg, as.Count, as.Errors, mean, as.MaxMS)
+	}
+	return nil
+}
+
+// splitPositional parses flags that may follow n positional arguments
+// (`join r s -alg cbase`) and returns the positionals.
+func splitPositional(fs *flag.FlagSet, args []string, n int) ([]string, error) {
+	if len(args) < n {
+		return nil, fmt.Errorf("want %d arguments", n)
+	}
+	if err := fs.Parse(args[n:]); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	return args[:n], nil
+}

@@ -1,0 +1,90 @@
+// Command skewjoind is the join daemon: it serves internal/service over
+// plain HTTP, owning a catalog of named relations and admitting concurrent
+// join requests against a shared worker-thread budget.
+//
+//	skewjoind -addr :8080 -threads 8 -queue 16
+//
+// Relations can be preloaded at startup (name=path pairs) and registered
+// at runtime via POST /relations; see cmd/skewjoinctl for a client.
+// Path-based registration over HTTP is enabled (the daemon is an operator
+// tool trusted with its own filesystem).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"skewjoin"
+	"skewjoin/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		threads = flag.Int("threads", 0, "worker-thread budget shared by all joins (default all cores)")
+		queue   = flag.Int("queue", 16, "admission queue depth; beyond it requests are shed with 429 (negative disables queueing)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline (queue wait + execution)")
+		preload = flag.String("preload", "", "comma-separated name=path pairs of relation files to register at startup")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		ThreadBudget:     *threads,
+		MaxQueue:         *queue,
+		DefaultTimeout:   *timeout,
+		AllowPathLoading: true,
+	}
+	srv := service.New(cfg)
+
+	if *preload != "" {
+		for _, pair := range strings.Split(*preload, ",") {
+			name, path, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("skewjoind: -preload entry %q is not name=path", pair)
+			}
+			e, err := srv.Catalog().RegisterFile(name, path)
+			if err != nil {
+				log.Fatalf("skewjoind: preload %q: %v", name, err)
+			}
+			log.Printf("preloaded %q: %d tuples from %s", name, e.Stats.Tuples, path)
+		}
+	}
+
+	budget := *threads
+	if budget <= 0 {
+		budget = skewjoin.DefaultThreads()
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			httpSrv.Close()
+		}
+	}()
+
+	log.Printf("skewjoind listening on %s (budget %d threads, queue %d)", *addr, budget, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "skewjoind: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -22,6 +22,7 @@
 package cbase
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -56,6 +57,10 @@ type Config struct {
 	// Sched selects the dynamic task queue used by partition pass 2 and
 	// the join phase (default radix.SchedAtomic).
 	Sched radix.SchedMode
+	// Ctx optionally cancels the run (nil = never). Cancellation is
+	// checked at phase boundaries and between join tasks; a cancelled run
+	// reports Result.Canceled and its summary must be discarded.
+	Ctx context.Context
 }
 
 // Defaults fills zero fields with defaults.
@@ -86,6 +91,9 @@ type Result struct {
 	Summary outbuf.Summary
 	Phases  []exec.Phase // "partition", "join"
 	Stats   Stats
+	// Canceled reports that Config.Ctx fired before the run completed; the
+	// summary covers only the work done up to that point.
+	Canceled bool
 }
 
 // Total returns the end-to-end time of the run.
@@ -133,6 +141,11 @@ func Join(r, s relation.Relation, cfg Config) Result {
 	res.Stats.Fanout = rcfg.Fanout()
 	_, res.Stats.MaxPartitionR = pr.MaxPartition()
 	_, res.Stats.MaxPartitionS = ps.MaxPartition()
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		res.Phases = timer.Phases()
+		return res
+	}
 
 	bufs := make([]*outbuf.Buffer, cfg.Threads)
 	for w := range bufs {
@@ -146,11 +159,13 @@ func Join(r, s relation.Relation, cfg Config) Result {
 			Threads:    cfg.Threads,
 			SkewFactor: cfg.SkewFactor,
 			Sched:      cfg.Sched,
+			Ctx:        cfg.Ctx,
 		}, bufs)
 		for _, b := range bufs {
 			b.Flush()
 		}
 	})
+	res.Canceled = res.Stats.Join.Canceled
 	res.Summary = outbuf.Summarize(bufs)
 	res.Phases = timer.Phases()
 	return res

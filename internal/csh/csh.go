@@ -19,6 +19,7 @@
 package csh
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -58,6 +59,10 @@ type Config struct {
 	// Sched selects the dynamic task queue used by partition pass 2 and
 	// the NM-join phase (default radix.SchedAtomic).
 	Sched radix.SchedMode
+	// Ctx optionally cancels the run (nil = never). Cancellation is
+	// checked at phase boundaries and between NM-join tasks; a cancelled
+	// run reports Result.Canceled and its summary must be discarded.
+	Ctx context.Context
 }
 
 // Defaults fills zero fields with the paper's example parameters.
@@ -97,6 +102,9 @@ type Result struct {
 	Summary outbuf.Summary
 	Phases  []exec.Phase // "sample", "partition", "nmjoin"
 	Stats   Stats
+	// Canceled reports that Config.Ctx fired before the run completed; the
+	// summary covers only the work done up to that point.
+	Canceled bool
 }
 
 // Total returns the end-to-end time of the run.
@@ -166,6 +174,11 @@ func Join(r, s relation.Relation, cfg Config) Result {
 		checkup = newCheckupTable(skewedKeys)
 	})
 	res.Stats.SkewedKeys = len(skewedKeys)
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		res.Phases = timer.Phases()
+		return res
+	}
 
 	bufs := make([]*outbuf.Buffer, cfg.Threads)
 	for w := range bufs {
@@ -258,6 +271,11 @@ func Join(r, s relation.Relation, cfg Config) Result {
 		res.Stats.SkewedTuplesS += int(n)
 	}
 	res.Stats.SkewOutput = outbuf.Summarize(bufs).Count
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		res.Phases = timer.Phases()
+		return res
+	}
 
 	// Phase 4: NM-join over the normal partitions only.
 	timer.Time("nmjoin", func() {
@@ -265,8 +283,10 @@ func Join(r, s relation.Relation, cfg Config) Result {
 			Threads:    cfg.Threads,
 			SkewFactor: cfg.SkewFactor,
 			Sched:      cfg.Sched,
+			Ctx:        cfg.Ctx,
 		}, bufs)
 	})
+	res.Canceled = res.Stats.NM.Canceled
 
 	for _, b := range bufs {
 		b.Flush()

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,20 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ParallelCtx runs fn(ctx, worker) on `threads` goroutines and waits for
+// all of them, returning ctx.Err() if ctx was done by the time the workers
+// finished. Cancellation is cooperative: a worker running a long loop
+// should poll ctx.Done() at a coarse granularity (e.g. per segment chunk);
+// ParallelCtx itself only refuses to start workers when ctx is already
+// dead.
+func ParallelCtx(ctx context.Context, threads int, fn func(ctx context.Context, worker int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	Parallel(threads, func(w int) { fn(ctx, w) })
+	return ctx.Err()
 }
 
 // SplitThreads divides `threads` workers between two concurrent tasks in
@@ -153,7 +168,19 @@ func (q *Queue[T]) Len() int {
 // Drain runs fn on every task using `threads` workers until the queue is
 // fully drained, including tasks pushed by fn itself while draining.
 func (q *Queue[T]) Drain(threads int, fn func(worker int, t T)) {
-	drainQueue[T](q, threads, fn)
+	drainQueue[T](q, nil, threads, fn)
+}
+
+// DrainCtx is Drain with cancellation: workers stop claiming tasks as soon
+// as ctx is done, abandoning any tasks still queued. It returns ctx.Err()
+// when the drain was cut short, nil when the queue drained fully. A task
+// already being executed when ctx fires runs to completion — cancellation
+// is between-task, so a cancelled drain never leaves a task half-applied.
+func (q *Queue[T]) DrainCtx(ctx context.Context, threads int, fn func(worker int, t T)) error {
+	if drainQueue[T](q, ctx.Done(), threads, fn) != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // nexter is the dequeue interface drainQueue needs; Queue and MutexQueue
@@ -162,14 +189,25 @@ type nexter[T any] interface {
 	Next() (T, bool)
 }
 
-// drainQueue implements Drain for both queue variants. The in-flight
-// counter makes the termination condition exact: the queue is done when it
-// is empty and no worker is still executing a task that could push more.
-func drainQueue[T any](q nexter[T], threads int, fn func(worker int, t T)) {
+// drainQueue implements Drain/DrainCtx for both queue variants. The
+// in-flight counter makes the termination condition exact: the queue is
+// done when it is empty and no worker is still executing a task that could
+// push more. done (may be nil = never) stops workers between tasks; the
+// return value is non-nil iff the drain was cut short.
+func drainQueue[T any](q nexter[T], done <-chan struct{}, threads int, fn func(worker int, t T)) error {
 	var inflight atomic.Int64
+	var stopped atomic.Bool
 	Parallel(threads, func(worker int) {
 		idle := 0
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					stopped.Store(true)
+					return
+				default:
+				}
+			}
 			t, ok := q.Next()
 			if !ok {
 				if inflight.Load() != 0 {
@@ -195,6 +233,10 @@ func drainQueue[T any](q nexter[T], threads int, fn func(worker int, t T)) {
 			inflight.Add(-1)
 		}
 	})
+	if stopped.Load() {
+		return context.Canceled
+	}
+	return nil
 }
 
 // backoff sleeps an idle drain worker: a few yields first (sub-tasks are
@@ -258,7 +300,15 @@ func (q *MutexQueue[T]) Len() int {
 // Drain runs fn on every task using `threads` workers until the queue is
 // fully drained, including tasks pushed by fn itself while draining.
 func (q *MutexQueue[T]) Drain(threads int, fn func(worker int, t T)) {
-	drainQueue[T](q, threads, fn)
+	drainQueue[T](q, nil, threads, fn)
+}
+
+// DrainCtx is Drain with between-task cancellation; see Queue.DrainCtx.
+func (q *MutexQueue[T]) DrainCtx(ctx context.Context, threads int, fn func(worker int, t T)) error {
+	if drainQueue[T](q, ctx.Done(), threads, fn) != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // PhaseTimer records named phase durations for an algorithm run, which is

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -338,6 +340,88 @@ func TestMutexQueueMatchesQueueSemantics(t *testing.T) {
 		if cb[task] != n {
 			t.Errorf("task %d: %d vs %d executions", task, n, cb[task])
 		}
+	}
+}
+
+func TestDrainCtxCompletesWithoutCancel(t *testing.T) {
+	tasks := make([]int, 500)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	for name, drain := range map[string]func(context.Context, int, func(int, int)) error{
+		"atomic": NewQueue(append([]int(nil), tasks...)).DrainCtx,
+		"mutex":  NewMutexQueue(append([]int(nil), tasks...)).DrainCtx,
+	} {
+		var processed atomic.Int64
+		if err := drain(context.Background(), 4, func(w, task int) { processed.Add(1) }); err != nil {
+			t.Errorf("%s: DrainCtx = %v", name, err)
+		}
+		if got := processed.Load(); got != 500 {
+			t.Errorf("%s: processed %d tasks, want 500", name, got)
+		}
+	}
+}
+
+func TestDrainCtxStopsEarly(t *testing.T) {
+	// Cancel after a handful of tasks; the drain must stop without
+	// processing the whole queue and report the context error.
+	tasks := make([]int, 10000)
+	q := NewQueue(tasks)
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed atomic.Int64
+	err := q.DrainCtx(ctx, 4, func(w, task int) {
+		if processed.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("DrainCtx = %v, want context.Canceled", err)
+	}
+	if got := processed.Load(); got == int64(len(tasks)) {
+		t.Error("cancelled drain processed every task")
+	}
+}
+
+func TestDrainCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := NewMutexQueue([]int{1, 2, 3})
+	var processed atomic.Int64
+	err := q.DrainCtx(ctx, 2, func(w, task int) { processed.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("DrainCtx = %v, want context.Canceled", err)
+	}
+	if got := processed.Load(); got != 0 {
+		t.Errorf("processed %d tasks on a dead context", got)
+	}
+}
+
+func TestDrainCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	q := NewQueue(make([]int, 1<<20))
+	err := q.DrainCtx(ctx, 2, func(w, task int) { time.Sleep(20 * time.Microsecond) })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("DrainCtx = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestParallelCtx(t *testing.T) {
+	var ran atomic.Int32
+	if err := ParallelCtx(context.Background(), 4, func(ctx context.Context, w int) { ran.Add(1) }); err != nil {
+		t.Errorf("ParallelCtx = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Errorf("ran %d workers, want 4", ran.Load())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ParallelCtx(ctx, 4, func(ctx context.Context, w int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Errorf("ParallelCtx on dead context = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Error("workers started on a dead context")
 	}
 }
 

@@ -12,6 +12,8 @@
 package joinphase
 
 import (
+	"context"
+
 	"skewjoin/internal/chainedtable"
 	"skewjoin/internal/exec"
 	"skewjoin/internal/outbuf"
@@ -31,6 +33,9 @@ type Config struct {
 	// the lock-free fetch-add queue; radix.SchedMutex restores the seed's
 	// mutex-guarded queue for A/B benchmarks).
 	Sched radix.SchedMode
+	// Ctx optionally cancels the phase between join tasks (nil = never).
+	// A cancelled run reports Stats.Canceled and its output is partial.
+	Ctx context.Context
 }
 
 // taskQueue abstracts the two queue variants; the per-task dispatch cost is
@@ -39,6 +44,7 @@ type taskQueue interface {
 	Push(task)
 	Len() int
 	Drain(threads int, fn func(worker int, t task))
+	DrainCtx(ctx context.Context, threads int, fn func(worker int, t task)) error
 }
 
 // Stats reports what happened inside the join phase.
@@ -48,6 +54,7 @@ type Stats struct {
 	MaxChain      int    // longest hash chain across all build tables
 	ProbeVisits   uint64 // total chain nodes visited while probing
 	MaxTaskOutput uint64 // results produced by the single largest task
+	Canceled      bool   // Config.Ctx fired before the queue drained
 }
 
 type task struct {
@@ -97,7 +104,15 @@ func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 	}
 	ws := make([]workerStat, cfg.Threads)
 
-	q.Drain(cfg.Threads, func(w int, t task) {
+	var drainErr error
+	drain := func(fn func(w int, t task)) {
+		if cfg.Ctx != nil {
+			drainErr = q.DrainCtx(cfg.Ctx, cfg.Threads, fn)
+		} else {
+			q.Drain(cfg.Threads, fn)
+		}
+	}
+	drain(func(w int, t task) {
 		buf := bufs[w]
 		stat := &ws[w]
 		var table *chainedtable.Table
@@ -143,6 +158,7 @@ func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 	})
 
 	var st Stats
+	st.Canceled = drainErr != nil
 	st.Tasks = q.Len()
 	for _, s := range ws {
 		if s.maxChain > st.MaxChain {

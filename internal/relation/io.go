@@ -41,38 +41,81 @@ func (r Relation) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadFrom parses a relation in binary format, replacing r's tuples.
+// maxTuples bounds the tuple count a header may claim (2^31 tuples = 16
+// GiB of data); anything larger is treated as corruption.
+const maxTuples = 1 << 31
+
+// ReadFrom parses a relation in binary format, replacing r's tuples. The
+// header is fully validated before any tuple memory is allocated, and
+// allocation grows with the data actually read — a corrupt header claiming
+// billions of tuples fails with a descriptive error instead of exhausting
+// memory. On error r is left unmodified.
 func (r *Relation) ReadFrom(rd io.Reader) (int64, error) {
+	return r.readFrom(rd, -1)
+}
+
+// readFrom implements ReadFrom. size >= 0 is the total input length when
+// the caller knows it (a regular file): the header's tuple count is then
+// cross-checked against it before a single byte of tuple data is read, so
+// truncated and padded files are rejected up front and the output slice is
+// allocated exactly once.
+func (r *Relation) readFrom(rd io.Reader, size int64) (int64, error) {
 	br := bufio.NewReaderSize(rd, 1<<16)
 	var hdr [headerSize]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, fmt.Errorf("relation: reading header: %w", err)
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		return int64(n), fmt.Errorf("relation: truncated header (%d of %d bytes): %w", n, headerSize, err)
 	}
 	if string(hdr[:4]) != fileMagic {
-		return 0, fmt.Errorf("relation: bad magic %q", hdr[:4])
+		return headerSize, fmt.Errorf("relation: bad magic %q (not a relation file?)", hdr[:4])
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != fileVersion {
-		return 0, fmt.Errorf("relation: unsupported version %d", v)
+		return headerSize, fmt.Errorf("relation: unsupported format version %d (want %d)", v, fileVersion)
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
-	const maxTuples = 1 << 31
 	if count > maxTuples {
-		return 0, fmt.Errorf("relation: implausible tuple count %d", count)
+		return headerSize, fmt.Errorf("relation: implausible tuple count %d in header (max %d)", count, uint64(maxTuples))
 	}
-	r.Tuples = make([]Tuple, count)
+	if size >= 0 {
+		if want := int64(headerSize) + int64(count)*TupleSize; size != want {
+			return headerSize, fmt.Errorf("relation: header claims %d tuples (%d bytes) but file is %d bytes", count, want, size)
+		}
+	}
+
+	// Read in bounded chunks so memory is proportional to data actually
+	// present, not to the header's claim.
+	const chunkTuples = 1 << 16
+	var tuples []Tuple
+	if size >= 0 {
+		tuples = make([]Tuple, 0, count)
+	}
+	raw := make([]byte, int(min64(count, chunkTuples))*TupleSize)
 	n := int64(headerSize)
-	var buf [TupleSize]byte
-	for i := range r.Tuples {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return n, fmt.Errorf("relation: reading tuple %d: %w", i, err)
+	for remaining := count; remaining > 0; {
+		c := int(min64(remaining, chunkTuples))
+		m, err := io.ReadFull(br, raw[:c*TupleSize])
+		n += int64(m)
+		if err != nil {
+			return n, fmt.Errorf("relation: truncated body: header claims %d tuples, input ends after %d: %w",
+				count, uint64(len(tuples))+uint64(m/TupleSize), err)
 		}
-		r.Tuples[i] = Tuple{
-			Key:     Key(binary.LittleEndian.Uint32(buf[0:4])),
-			Payload: Payload(binary.LittleEndian.Uint32(buf[4:8])),
+		for i := 0; i < c; i++ {
+			off := i * TupleSize
+			tuples = append(tuples, Tuple{
+				Key:     Key(binary.LittleEndian.Uint32(raw[off : off+4])),
+				Payload: Payload(binary.LittleEndian.Uint32(raw[off+4 : off+8])),
+			})
 		}
-		n += TupleSize
+		remaining -= uint64(c)
 	}
+	r.Tuples = tuples
 	return n, nil
+}
+
+func min64(a uint64, b int64) uint64 {
+	if a < uint64(b) {
+		return a
+	}
+	return uint64(b)
 }
 
 // SaveFile writes the relation to path in binary format.
@@ -88,15 +131,22 @@ func (r Relation) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a relation from a file written by SaveFile.
+// LoadFile reads a relation from a file written by SaveFile. The file's
+// size is checked against the header's tuple count before any tuple memory
+// is allocated, so truncated, padded, or corrupt files are rejected with a
+// descriptive error rather than a panic or a huge speculative allocation.
 func LoadFile(path string) (Relation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Relation{}, err
 	}
 	defer f.Close()
+	size := int64(-1) // unknown; readFrom then validates incrementally
+	if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+		size = fi.Size()
+	}
 	var r Relation
-	if _, err := r.ReadFrom(f); err != nil {
+	if _, err := r.readFrom(f, size); err != nil {
 		return Relation{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, nil

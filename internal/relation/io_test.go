@@ -3,6 +3,7 @@ package relation
 import (
 	"bytes"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -115,6 +116,149 @@ func TestSaveLoadFile(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.skjr")); err == nil {
 		t.Error("missing file loaded")
+	}
+}
+
+// write builds a binary relation image for corruption tests.
+func encode(t *testing.T, r Relation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadRejectsTruncatedHeader(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 15} {
+		b := encode(t, FromPairs([]Key{1}, []Payload{1}))[:n]
+		var got Relation
+		if _, err := got.ReadFrom(bytes.NewReader(b)); err == nil {
+			t.Errorf("%d-byte header accepted", n)
+		} else if !strings.Contains(err.Error(), "header") {
+			t.Errorf("%d-byte header: error %q does not mention the header", n, err)
+		}
+	}
+}
+
+func TestReadHugeCountDoesNotAllocate(t *testing.T) {
+	// A corrupt header claiming maxTuples tuples over an empty body must
+	// fail fast with a truncation error, not allocate 16 GiB up front.
+	b := encode(t, Relation{})
+	binaryPutCount(b, maxTuples)
+	var got Relation
+	_, err := got.ReadFrom(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("huge-count header accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated body") {
+		t.Errorf("error %q does not mention truncation", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("failed read left %d tuples behind", got.Len())
+	}
+}
+
+func TestReadErrorLeavesRelationUnmodified(t *testing.T) {
+	r := FromPairs([]Key{7}, []Payload{70})
+	b := encode(t, FromPairs([]Key{1, 2, 3}, []Payload{1, 2, 3}))[:headerSize+TupleSize+3]
+	if _, err := r.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if r.Len() != 1 || r.Tuples[0] != (Tuple{Key: 7, Payload: 70}) {
+		t.Errorf("failed read clobbered the receiver: %+v", r.Tuples)
+	}
+}
+
+func TestLoadFileRejectsTruncated(t *testing.T) {
+	full := encode(t, FromPairs([]Key{1, 2, 3, 4}, []Payload{1, 2, 3, 4}))
+	for _, n := range []int{3, headerSize, headerSize + 2*TupleSize, len(full) - 1} {
+		path := filepath.Join(t.TempDir(), "trunc.skjr")
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(path); err == nil {
+			t.Errorf("truncated file (%d of %d bytes) loaded", n, len(full))
+		}
+	}
+}
+
+func TestLoadFileRejectsTrailingGarbage(t *testing.T) {
+	b := encode(t, FromPairs([]Key{1}, []Payload{1}))
+	path := filepath.Join(t.TempDir(), "padded.skjr")
+	if err := os.WriteFile(path, append(b, 0xAB, 0xCD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("padded file loaded")
+	}
+	if !strings.Contains(err.Error(), "bytes") {
+		t.Errorf("error %q does not describe the size mismatch", err)
+	}
+}
+
+func TestLoadFileRejectsGarbage(t *testing.T) {
+	garbage := make([]byte, 300)
+	for i := range garbage {
+		garbage[i] = byte(i*37 + 11)
+	}
+	path := filepath.Join(t.TempDir(), "garbage.skjr")
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("garbage file loaded")
+	}
+}
+
+func TestLoadFileHugeCountSmallFile(t *testing.T) {
+	// Header claims 2^30 tuples; the file holds one. LoadFile must reject
+	// it from the size check alone, before allocating anything.
+	b := encode(t, FromPairs([]Key{1}, []Payload{1}))
+	binaryPutCount(b, 1<<30)
+	path := filepath.Join(t.TempDir(), "liar.skjr")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("lying header loaded")
+	}
+	if !strings.Contains(err.Error(), "claims") {
+		t.Errorf("error %q does not describe the header/size mismatch", err)
+	}
+}
+
+func TestReadChunkedLargeRelation(t *testing.T) {
+	// Cross the chunked-read boundary (chunkTuples = 1<<16) to cover the
+	// multi-chunk path.
+	n := 1<<16 + 100
+	keys := make([]Key, n)
+	pays := make([]Payload, n)
+	for i := range keys {
+		keys[i] = Key(i * 3)
+		pays[i] = Payload(i)
+	}
+	r := FromPairs(keys, pays)
+	var got Relation
+	if _, err := got.ReadFrom(bytes.NewReader(encode(t, r))); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != n {
+		t.Fatalf("len %d, want %d", got.Len(), n)
+	}
+	for i := 0; i < n; i += 7777 {
+		if got.Tuples[i] != r.Tuples[i] {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+// binaryPutCount patches the tuple count field of an encoded relation.
+func binaryPutCount(b []byte, count uint64) {
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(count >> (8 * i))
 	}
 }
 

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the wait queue is
+// full: the server sheds the request instead of letting the backlog grow
+// without bound (mapped to HTTP 429 by the handler).
+var ErrOverloaded = errors.New("service: overloaded, admission queue full")
+
+// Admission is a weighted-semaphore admission controller: each request
+// acquires `weight` worker threads from a fixed budget before its join may
+// run, so N concurrent joins share the pool without oversubscription.
+// Requests that cannot run immediately wait in a bounded FIFO queue;
+// arrivals beyond the queue bound are rejected with ErrOverloaded, and a
+// request whose context expires while queued is removed and rejected with
+// the context's error. FIFO grant order (no skipping smaller requests past
+// a blocked larger one) keeps heavyweight requests from starving.
+type Admission struct {
+	budget   int
+	maxQueue int
+
+	mu       sync.Mutex
+	inUse    int
+	inFlight int
+	waiters  []*waiter
+
+	submitted       uint64
+	admitted        uint64
+	rejectedFull    uint64
+	rejectedTimeout uint64
+	completed       uint64
+}
+
+type waiter struct {
+	weight int
+	ready  chan struct{}
+}
+
+// NewAdmission returns a controller over `budget` worker threads with at
+// most `maxQueue` queued requests. budget < 1 is raised to 1; maxQueue < 0
+// means no queue (shed anything that cannot run immediately).
+func NewAdmission(budget, maxQueue int) *Admission {
+	if budget < 1 {
+		budget = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{budget: budget, maxQueue: maxQueue}
+}
+
+// Budget returns the total worker-thread budget.
+func (a *Admission) Budget() int { return a.budget }
+
+// ClampWeight folds a requested thread count into the valid weight range
+// [1, budget].
+func (a *Admission) ClampWeight(threads int) int {
+	if threads < 1 {
+		return a.budget // default: the whole pool, i.e. serial joins
+	}
+	if threads > a.budget {
+		return a.budget
+	}
+	return threads
+}
+
+// Acquire blocks until `weight` threads are granted, the wait queue
+// overflows (ErrOverloaded), or ctx is done (ctx.Err()). On success the
+// caller owns the weight and must call the returned release exactly once
+// when the request finishes; release is idempotent.
+func (a *Admission) Acquire(ctx context.Context, weight int) (release func(), err error) {
+	if weight < 1 || weight > a.budget {
+		return nil, fmt.Errorf("service: weight %d outside budget [1, %d]", weight, a.budget)
+	}
+	a.mu.Lock()
+	a.submitted++
+	// Fast path: idle capacity and nobody queued ahead of us.
+	if len(a.waiters) == 0 && a.inUse+weight <= a.budget {
+		a.grantLockedDirect(weight)
+		a.mu.Unlock()
+		return a.releaseFunc(weight), nil
+	}
+	if err := ctx.Err(); err != nil {
+		a.rejectedTimeout++
+		a.mu.Unlock()
+		return nil, err
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.rejectedFull++
+		a.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return a.releaseFunc(weight), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: undo it so the counters
+			// read "rejected", not "admitted and instantly released".
+			a.inUse -= weight
+			a.inFlight--
+			a.admitted--
+			a.rejectedTimeout++
+			a.grantWaitersLocked()
+		default:
+			for i, q := range a.waiters {
+				if q == w {
+					a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+					break
+				}
+			}
+			a.rejectedTimeout++
+		}
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// grantLockedDirect admits the caller without queueing.
+func (a *Admission) grantLockedDirect(weight int) {
+	a.inUse += weight
+	a.inFlight++
+	a.admitted++
+}
+
+// grantWaitersLocked admits queued requests in FIFO order while they fit.
+func (a *Admission) grantWaitersLocked() {
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if a.inUse+w.weight > a.budget {
+			return
+		}
+		a.waiters = a.waiters[1:]
+		a.grantLockedDirect(w.weight)
+		close(w.ready)
+	}
+}
+
+func (a *Admission) releaseFunc(weight int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inUse -= weight
+			a.inFlight--
+			a.completed++
+			a.grantWaitersLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// Snapshot returns a consistent view of the controller's gauges and
+// counters. The invariant Submitted == Admitted + Rejected holds in every
+// snapshot taken while no Acquire is concurrently mid-flight between its
+// counter updates; handlers relying on it should quiesce first (the /stats
+// endpoint simply reports the instantaneous values).
+func (a *Admission) Snapshot() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		ThreadBudget:    a.budget,
+		MaxQueue:        a.maxQueue,
+		ThreadsInUse:    a.inUse,
+		InFlight:        a.inFlight,
+		Queued:          len(a.waiters),
+		Submitted:       a.submitted,
+		Admitted:        a.admitted,
+		Rejected:        a.rejectedFull + a.rejectedTimeout,
+		RejectedFull:    a.rejectedFull,
+		RejectedTimeout: a.rejectedTimeout,
+		Completed:       a.completed,
+	}
+}

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(8, 4)
+	rel1, err := a.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Snapshot()
+	if st.ThreadsInUse != 8 || st.InFlight != 2 || st.Admitted != 2 {
+		t.Errorf("snapshot after two grants: %+v", st)
+	}
+	rel1()
+	rel2()
+	rel2() // idempotent
+	st = a.Snapshot()
+	if st.ThreadsInUse != 0 || st.InFlight != 0 || st.Completed != 2 {
+		t.Errorf("snapshot after release: %+v", st)
+	}
+}
+
+func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
+	a := NewAdmission(2, 1)
+	release, err := a.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	waiterDone := make(chan error, 1)
+	go func() {
+		rel, err := a.Acquire(context.Background(), 1)
+		if err == nil {
+			rel()
+		}
+		waiterDone <- err
+	}()
+	// Wait until it is actually queued.
+	for a.Snapshot().Queued != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// ...the next arrival must be shed immediately.
+	if _, err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("Acquire with full queue = %v, want ErrOverloaded", err)
+	}
+	release()
+	if err := <-waiterDone; err != nil {
+		t.Errorf("queued waiter = %v", err)
+	}
+	st := a.Snapshot()
+	if st.Submitted != 3 || st.Admitted != 2 || st.RejectedFull != 1 {
+		t.Errorf("counters: %+v", st)
+	}
+	if st.Admitted+st.Rejected != st.Submitted {
+		t.Errorf("reconciliation: admitted %d + rejected %d != submitted %d", st.Admitted, st.Rejected, st.Submitted)
+	}
+}
+
+func TestAdmissionTimeoutWhileQueued(t *testing.T) {
+	a := NewAdmission(2, 4)
+	release, err := a.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued Acquire past deadline = %v", err)
+	}
+	st := a.Snapshot()
+	if st.RejectedTimeout != 1 || st.Queued != 0 {
+		t.Errorf("counters after queue timeout: %+v", st)
+	}
+	release()
+	if st := a.Snapshot(); st.ThreadsInUse != 0 {
+		t.Errorf("threads leaked: %+v", st)
+	}
+}
+
+func TestAdmissionFIFONoStarvation(t *testing.T) {
+	// A heavyweight waiter at the head of the queue must not be starved by
+	// lighter requests behind it: grants are strictly FIFO.
+	a := NewAdmission(4, 8)
+	release, err := a.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rel, err := a.Acquire(context.Background(), 4) // heavy, queued first
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		order <- 4
+		rel()
+	}()
+	for a.Snapshot().Queued != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	go func() {
+		defer wg.Done()
+		rel, err := a.Acquire(context.Background(), 1) // light, queued second
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		order <- 1
+		rel()
+	}()
+	for a.Snapshot().Queued != 2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	release()
+	wg.Wait()
+	if first := <-order; first != 4 {
+		t.Errorf("light request overtook the heavy head-of-line waiter")
+	}
+}
+
+func TestAdmissionWeightOutsideBudget(t *testing.T) {
+	a := NewAdmission(4, 4)
+	if _, err := a.Acquire(context.Background(), 0); err == nil {
+		t.Error("weight 0 accepted")
+	}
+	if _, err := a.Acquire(context.Background(), 5); err == nil {
+		t.Error("weight beyond budget accepted")
+	}
+	if got := a.ClampWeight(0); got != 4 {
+		t.Errorf("ClampWeight(0) = %d, want full budget", got)
+	}
+	if got := a.ClampWeight(99); got != 4 {
+		t.Errorf("ClampWeight(99) = %d", got)
+	}
+	if got := a.ClampWeight(3); got != 3 {
+		t.Errorf("ClampWeight(3) = %d", got)
+	}
+}
+
+func TestAdmissionStressReconciles(t *testing.T) {
+	// Random weights, random hold times, random timeouts: after the dust
+	// settles every counter must reconcile and no thread may be leaked.
+	a := NewAdmission(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(3))*time.Millisecond)
+				release, err := a.Acquire(ctx, 1+rng.Intn(8))
+				if err == nil {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+					release()
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := a.Snapshot()
+	if st.Submitted != 16*50 {
+		t.Errorf("submitted %d, want %d", st.Submitted, 16*50)
+	}
+	if st.Admitted+st.Rejected != st.Submitted {
+		t.Errorf("reconciliation: admitted %d + rejected %d != submitted %d", st.Admitted, st.Rejected, st.Submitted)
+	}
+	if st.Completed != st.Admitted {
+		t.Errorf("completed %d != admitted %d", st.Completed, st.Admitted)
+	}
+	if st.ThreadsInUse != 0 || st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("leaked state: %+v", st)
+	}
+}

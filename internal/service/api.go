@@ -1,0 +1,162 @@
+// Package service is the join server: a long-running process that owns a
+// catalog of named relations, admits concurrent join requests against a
+// shared worker-thread budget, plans `auto` requests with the adaptive
+// planner, and serves results plus introspection over plain HTTP+JSON
+// (stdlib net/http only, so the whole server is testable with httptest).
+//
+// The layer exists because the join kernels alone are solo benchmarks: the
+// moment several queries share a machine, which backend runs a query and
+// how many queries run at once dominate end-to-end behaviour. The server
+// makes those decisions explicit — a weighted-semaphore admission
+// controller sheds load instead of oversubscribing the pool, and the
+// planner picks the skew-conscious or baseline join per request from the
+// catalog's cached statistics.
+package service
+
+// RegisterRequest is the body of POST /relations. Exactly one of Path and
+// Generate must be set: Path loads a binary relation file written by
+// cmd/datagen from the server's filesystem; Generate builds a zipf
+// relation in place.
+type RegisterRequest struct {
+	Name     string        `json:"name"`
+	Path     string        `json:"path,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+}
+
+// GenerateSpec describes an in-place zipf relation (the paper's workload
+// generator). Relations generated with the same Seed share a key universe,
+// so two specs differing only in Stream produce joinable tables.
+type GenerateSpec struct {
+	N      int     `json:"n"`
+	Zipf   float64 `json:"zipf"`
+	Seed   int64   `json:"seed"`
+	Stream int64   `json:"stream"`
+}
+
+// RelationInfo is the wire form of a catalog entry: identity plus the
+// cached statistics the planner dispatches on.
+type RelationInfo struct {
+	Name         string `json:"name"`
+	Source       string `json:"source"`
+	Tuples       int    `json:"tuples"`
+	Bytes        int    `json:"bytes"`
+	DistinctKeys int    `json:"distinct_keys"`
+	MaxKey       uint32 `json:"max_key"`
+	MaxKeyFreq   int    `json:"max_key_freq"`
+	RegisteredAt string `json:"registered_at"` // RFC 3339
+}
+
+// JoinRequest is the body of POST /join.
+type JoinRequest struct {
+	// R and S name catalog relations (build and probe side).
+	R string `json:"r"`
+	S string `json:"s"`
+	// Algorithm pins a join implementation ("cbase", "csh", "gbase",
+	// "gsh", ...) or asks the planner to choose ("auto", the default).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Backend selects the architecture an `auto` request is planned for:
+	// "cpu" (default, Cbase or CSH) or "gpu" (Gbase or GSH on the
+	// simulator). Ignored when Algorithm is pinned.
+	Backend string `json:"backend,omitempty"`
+	// Threads is this request's worker-thread weight against the server's
+	// admission budget (default: the whole budget; clamped to it).
+	Threads int `json:"threads,omitempty"`
+	// TimeoutMS bounds queue wait plus execution (default: the server's
+	// configured timeout). Expiry cancels the join and frees its workers.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Consumer selects the volcano upper operator consuming the output:
+	// "summary" (default; match count + checksum only), "count" (streamed
+	// row count through a volcano.Count sink), or "topk" (heavy-hitter
+	// keys of the join output).
+	Consumer string `json:"consumer,omitempty"`
+	// K is the heavy-hitter count for Consumer "topk" (default 5).
+	K int `json:"k,omitempty"`
+}
+
+// PhaseInfo is one timed phase of the executed join.
+type PhaseInfo struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// PlannerInfo reports the planner evidence behind an `auto` decision.
+type PlannerInfo struct {
+	SkewDetected   bool `json:"skew_detected"`
+	TopKeyEstimate int  `json:"top_key_estimate"`
+	SampleSize     int  `json:"sample_size"`
+}
+
+// KeyWeight is one heavy-hitter entry of a "topk" consumer.
+type KeyWeight struct {
+	Key    uint32 `json:"key"`
+	Weight uint64 `json:"weight"`
+}
+
+// JoinResponse is the body of a successful POST /join.
+type JoinResponse struct {
+	Algorithm string       `json:"algorithm"`
+	Auto      bool         `json:"auto"`
+	Planner   *PlannerInfo `json:"planner,omitempty"`
+	Matches   uint64       `json:"matches"`
+	Checksum  uint64       `json:"checksum"`
+	// Modelled is true when Phases are simulated GPU device time rather
+	// than wall-clock.
+	Modelled bool        `json:"modelled"`
+	Phases   []PhaseInfo `json:"phases"`
+	// WaitMS is time spent queued in admission; JoinMS is wall-clock
+	// execution time (also what the /stats histograms record).
+	WaitMS float64 `json:"wait_ms"`
+	JoinMS float64 `json:"join_ms"`
+	// Rows is set by the "count" consumer; TopKeys by "topk".
+	Rows    *uint64     `json:"rows,omitempty"`
+	TopKeys []KeyWeight `json:"top_keys,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// AdmissionStats is the admission controller's counter snapshot. The
+// counters reconcile: Submitted == Admitted + Rejected, and Rejected ==
+// RejectedFull + RejectedTimeout.
+type AdmissionStats struct {
+	ThreadBudget int `json:"thread_budget"`
+	MaxQueue     int `json:"max_queue"`
+	// Gauges.
+	ThreadsInUse int `json:"threads_in_use"`
+	InFlight     int `json:"in_flight"`
+	Queued       int `json:"queued"`
+	// Monotonic counters.
+	Submitted       uint64 `json:"submitted"`
+	Admitted        uint64 `json:"admitted"`
+	Rejected        uint64 `json:"rejected"`
+	RejectedFull    uint64 `json:"rejected_full"`
+	RejectedTimeout uint64 `json:"rejected_timeout"`
+	Completed       uint64 `json:"completed"`
+}
+
+// HistBucket is one latency histogram bucket; LEMS is the bucket's upper
+// bound in milliseconds, -1 for the overflow bucket.
+type HistBucket struct {
+	LEMS  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// AlgorithmStats is the cumulative per-algorithm service record: request
+// counts and a wall-clock latency histogram over successful joins.
+type AlgorithmStats struct {
+	Count   uint64       `json:"count"`
+	Errors  uint64       `json:"errors"`
+	TotalMS float64      `json:"total_ms"`
+	MaxMS   float64      `json:"max_ms"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Relations  []RelationInfo            `json:"relations"`
+	Admission  AdmissionStats            `json:"admission"`
+	Algorithms map[string]AlgorithmStats `json:"algorithms"`
+	UptimeMS   float64                   `json:"uptime_ms"`
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"skewjoin"
+)
+
+// ErrDuplicate reports a Register against a name that is already taken.
+var ErrDuplicate = errors.New("already registered")
+
+// Entry is one named relation in the catalog, with the statistics the
+// planner dispatches on cached at registration time (one scan, amortised
+// over every `auto` join that touches the relation).
+type Entry struct {
+	Name         string
+	Rel          skewjoin.Relation
+	Stats        skewjoin.RelationStats
+	Source       string
+	RegisteredAt time.Time
+}
+
+// Info returns the entry's wire form.
+func (e *Entry) Info() RelationInfo {
+	return RelationInfo{
+		Name:         e.Name,
+		Source:       e.Source,
+		Tuples:       e.Stats.Tuples,
+		Bytes:        e.Rel.Bytes(),
+		DistinctKeys: e.Stats.DistinctKeys,
+		MaxKey:       uint32(e.Stats.MaxKey),
+		MaxKeyFreq:   e.Stats.MaxKeyFreq,
+		RegisteredAt: e.RegisteredAt.UTC().Format(time.RFC3339),
+	}
+}
+
+// Catalog is the server's relation store: named, immutable-once-registered
+// relations plus cached RelationStats. All methods are safe for concurrent
+// use; joins read entries without copying tuples, which is sound because
+// every join algorithm treats its inputs as read-only.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	now     func() time.Time // injectable for tests
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: make(map[string]*Entry), now: time.Now}
+}
+
+// maxNameLen bounds relation names so they stay usable as URL path
+// elements and log tokens.
+const maxNameLen = 128
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("relation name must not be empty")
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("relation name longer than %d bytes", maxNameLen)
+	}
+	if strings.ContainsAny(name, "/\\ \t\n") {
+		return fmt.Errorf("relation name %q contains a slash or whitespace", name)
+	}
+	return nil
+}
+
+// Register adds rel under name, computing and caching its statistics.
+// Registering an existing name fails; Drop it first.
+func (c *Catalog) Register(name string, rel skewjoin.Relation, source string) (*Entry, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	// Stats are computed outside the lock: the scan is O(n) and must not
+	// block concurrent joins against other relations.
+	e := &Entry{Name: name, Rel: rel, Stats: skewjoin.Stats(rel), Source: source}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[name]; dup {
+		return nil, fmt.Errorf("relation %q %w", name, ErrDuplicate)
+	}
+	e.RegisteredAt = c.now()
+	c.entries[name] = e
+	return e, nil
+}
+
+// RegisterFile loads a binary relation file (cmd/datagen format) from the
+// server's filesystem and registers it under name.
+func (c *Catalog) RegisterFile(name, path string) (*Entry, error) {
+	rel, err := skewjoin.LoadRelation(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.Register(name, rel, "file:"+path)
+}
+
+// RegisterZipf generates a zipf relation in place and registers it.
+func (c *Catalog) RegisterZipf(name string, spec GenerateSpec) (*Entry, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("generate: n must be positive, got %d", spec.N)
+	}
+	rel, err := skewjoin.GenerateZipf(spec.N, spec.Zipf, spec.Seed, spec.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+	source := fmt.Sprintf("zipf(n=%d,theta=%g,seed=%d,stream=%d)", spec.N, spec.Zipf, spec.Seed, spec.Stream)
+	return c.Register(name, rel, source)
+}
+
+// Get returns the entry registered under name.
+func (c *Catalog) Get(name string) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// Drop removes name from the catalog, reporting whether it was present.
+// In-flight joins holding the entry keep their relation (slices stay
+// valid); the name is immediately free for re-registration.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[name]
+	delete(c.entries, name)
+	return ok
+}
+
+// List returns every entry sorted by name.
+func (c *Catalog) List() []*Entry {
+	c.mu.RLock()
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered relations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skewjoin"
+)
+
+func TestCatalogRegisterGetDrop(t *testing.T) {
+	c := NewCatalog()
+	rel, err := skewjoin.GenerateZipf(1<<10, 0.9, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Register("orders", rel, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Tuples != 1<<10 || e.Stats.MaxKeyFreq == 0 {
+		t.Errorf("cached stats look wrong: %+v", e.Stats)
+	}
+	got, ok := c.Get("orders")
+	if !ok || got != e {
+		t.Fatal("Get did not return the registered entry")
+	}
+	if _, err := c.Register("orders", rel, "test"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate register = %v, want ErrDuplicate", err)
+	}
+	if !c.Drop("orders") {
+		t.Error("Drop returned false for a registered name")
+	}
+	if c.Drop("orders") {
+		t.Error("Drop returned true for an absent name")
+	}
+	if _, ok := c.Get("orders"); ok {
+		t.Error("entry survived Drop")
+	}
+}
+
+func TestCatalogNameValidation(t *testing.T) {
+	c := NewCatalog()
+	var rel skewjoin.Relation
+	for _, bad := range []string{"", "a/b", "a b", "x\ty", strings.Repeat("n", maxNameLen+1)} {
+		if _, err := c.Register(bad, rel, "test"); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+}
+
+func TestCatalogRegisterFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.skjr")
+	rel, err := skewjoin.GenerateZipf(512, 0.5, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := skewjoin.SaveRelation(rel, path); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog()
+	e, err := c.RegisterFile("fromfile", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Tuples != 512 {
+		t.Errorf("loaded %d tuples", e.Stats.Tuples)
+	}
+	if !strings.HasPrefix(e.Source, "file:") {
+		t.Errorf("source = %q", e.Source)
+	}
+	if _, err := c.RegisterFile("missing", filepath.Join(dir, "nope.skjr")); err == nil {
+		t.Error("missing file registered")
+	}
+}
+
+func TestCatalogRegisterZipfValidation(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.RegisterZipf("bad", GenerateSpec{N: 0}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := c.RegisterZipf("bad", GenerateSpec{N: 100, Zipf: -2}); err == nil {
+		t.Error("negative zipf accepted")
+	}
+	e, err := c.RegisterZipf("ok", GenerateSpec{N: 100, Zipf: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Tuples != 100 {
+		t.Errorf("generated %d tuples", e.Stats.Tuples)
+	}
+}
+
+func TestCatalogList(t *testing.T) {
+	c := NewCatalog()
+	var rel skewjoin.Relation
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Register(name, rel, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := c.List()
+	if len(list) != 3 || c.Len() != 3 {
+		t.Fatalf("listed %d entries", len(list))
+	}
+	for i, want := range []string{"alpha", "mid", "zeta"} {
+		if list[i].Name != want {
+			t.Errorf("list[%d] = %q, want %q", i, list[i].Name, want)
+		}
+	}
+}

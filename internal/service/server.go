@@ -1,0 +1,378 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"skewjoin"
+	"skewjoin/internal/volcano"
+)
+
+// Config tunes the server. The zero value serves with the host's full
+// parallelism as the thread budget, a 16-deep admission queue, and a 30s
+// default request timeout.
+type Config struct {
+	// ThreadBudget is the total worker-thread budget shared by all
+	// concurrent joins (default: skewjoin.DefaultThreads()).
+	ThreadBudget int
+	// MaxQueue bounds the admission wait queue; arrivals beyond it are
+	// shed with HTTP 429 (default 16; negative = no queue).
+	MaxQueue int
+	// DefaultTimeout bounds queue wait plus execution for requests that
+	// set no timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// Planner configures `auto` dispatch (zero value = CSH's detection
+	// parameters).
+	Planner skewjoin.PlannerConfig
+	// AllowPathLoading permits POST /relations with a filesystem path.
+	// The daemon enables it; embedders exposing the server to untrusted
+	// clients should leave it off (a path request reads server-local
+	// files).
+	AllowPathLoading bool
+}
+
+func (c Config) defaults() Config {
+	if c.ThreadBudget <= 0 {
+		c.ThreadBudget = skewjoin.DefaultThreads()
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the join service: an http.Handler exposing the relation
+// catalog, the admission-controlled join endpoint, and introspection.
+//
+// Endpoints:
+//
+//	POST   /relations        register a relation (file path or zipf spec)
+//	GET    /relations        list catalog entries with cached stats
+//	GET    /relations/{name} one catalog entry
+//	DELETE /relations/{name} drop a relation
+//	POST   /join             run a join (auto-planned or pinned)
+//	GET    /stats            counters, catalog, latency histograms
+//	GET    /healthz          liveness probe
+type Server struct {
+	cfg     Config
+	catalog *Catalog
+	adm     *Admission
+	rec     *algRecorder
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New returns a ready-to-serve join server.
+func New(cfg Config) *Server {
+	cfg = cfg.defaults()
+	s := &Server{
+		cfg:     cfg,
+		catalog: NewCatalog(),
+		adm:     NewAdmission(cfg.ThreadBudget, cfg.MaxQueue),
+		rec:     newAlgRecorder(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /relations", s.handleRegister)
+	s.mux.HandleFunc("GET /relations", s.handleListRelations)
+	s.mux.HandleFunc("GET /relations/{name}", s.handleGetRelation)
+	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
+	s.mux.HandleFunc("POST /join", s.handleJoin)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Catalog exposes the relation catalog (the daemon preloads through it).
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// maxBodyBytes bounds request bodies; every request body here is a small
+// JSON document.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var (
+		entry *Entry
+		err   error
+	)
+	switch {
+	case req.Path != "" && req.Generate != nil:
+		writeError(w, http.StatusBadRequest, "set exactly one of path and generate")
+		return
+	case req.Path != "":
+		if !s.cfg.AllowPathLoading {
+			writeError(w, http.StatusForbidden, "path loading is disabled on this server")
+			return
+		}
+		entry, err = s.catalog.RegisterFile(req.Name, req.Path)
+	case req.Generate != nil:
+		entry, err = s.catalog.RegisterZipf(req.Name, *req.Generate)
+	default:
+		writeError(w, http.StatusBadRequest, "set exactly one of path and generate")
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "register: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entry.Info())
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	entries := s.catalog.List()
+	infos := make([]RelationInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, e.Info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.catalog.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q not registered", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Info())
+}
+
+func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.catalog.Drop(name) {
+		writeError(w, http.StatusNotFound, "relation %q not registered", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// resolveAlgorithm turns a request's algorithm/backend fields into a
+// concrete algorithm, consulting the planner on the catalog's cached
+// statistics for `auto`.
+func (s *Server) resolveAlgorithm(req JoinRequest, rStats skewjoin.RelationStats) (skewjoin.Algorithm, *PlannerInfo, error) {
+	name := req.Algorithm
+	if name == "" {
+		name = "auto"
+	}
+	if name != "auto" {
+		alg := skewjoin.Algorithm(name)
+		for _, known := range skewjoin.ExtendedAlgorithms() {
+			if alg == known {
+				return alg, nil, nil
+			}
+		}
+		return "", nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+	rec := skewjoin.RecommendFromStats(rStats, s.cfg.Planner)
+	info := &PlannerInfo{
+		SkewDetected:   rec.SkewDetected,
+		TopKeyEstimate: rec.TopKeyEstimate,
+		SampleSize:     rec.SampleSize,
+	}
+	switch req.Backend {
+	case "", "cpu":
+		return rec.CPU, info, nil
+	case "gpu":
+		return rec.GPU, info, nil
+	default:
+		return "", nil, fmt.Errorf("unknown backend %q (want cpu or gpu)", req.Backend)
+	}
+}
+
+// consumerSink wires the requested volcano consumer into join options.
+type consumerSink struct {
+	factory func(worker int) skewjoin.ResultConsumer
+	collect func()
+	finish  func(resp *JoinResponse)
+}
+
+func buildConsumer(req JoinRequest) (*consumerSink, error) {
+	switch req.Consumer {
+	case "", "summary":
+		return nil, nil
+	case "count":
+		root := volcano.NewCount()
+		factory, collect := volcano.Sink(root, func() volcano.Consumer { return volcano.NewCount() })
+		return &consumerSink{
+			factory: factory,
+			collect: collect,
+			finish: func(resp *JoinResponse) {
+				rows := root.Rows
+				resp.Rows = &rows
+			},
+		}, nil
+	case "topk":
+		k := req.K
+		if k <= 0 {
+			k = 5
+		}
+		root := volcano.NewTopKeys(k)
+		factory, collect := volcano.Sink(root, func() volcano.Consumer { return volcano.NewTopKeys(k) })
+		return &consumerSink{
+			factory: factory,
+			collect: collect,
+			finish: func(resp *JoinResponse) {
+				for _, kw := range root.Heaviest() {
+					resp.TopKeys = append(resp.TopKeys, KeyWeight{Key: uint32(kw.Key), Weight: kw.Weight})
+				}
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown consumer %q (want summary, count, or topk)", req.Consumer)
+	}
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rEntry, ok := s.catalog.Get(req.R)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q not registered", req.R)
+		return
+	}
+	sEntry, ok := s.catalog.Get(req.S)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q not registered", req.S)
+		return
+	}
+	alg, plannerInfo, err := s.resolveAlgorithm(req, rEntry.Stats)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sink, err := buildConsumer(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sink != nil && alg == skewjoin.GSMJ {
+		writeError(w, http.StatusBadRequest, "consumer %q is not supported for gsmj", req.Consumer)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	// The deadline covers queue wait plus execution, and the context also
+	// dies with the client connection, so an abandoned request frees its
+	// workers either way.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	weight := s.adm.ClampWeight(req.Threads)
+	queuedAt := time.Now()
+	release, err := s.adm.Acquire(ctx, weight)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, http.StatusGatewayTimeout, "timed out after %v waiting for admission", timeout)
+		return
+	}
+	defer release()
+	wait := time.Since(queuedAt)
+
+	opts := &skewjoin.Options{Threads: weight, Context: ctx}
+	if sink != nil {
+		opts.Consumer = sink.factory
+	}
+	joinStart := time.Now()
+	res, err := skewjoin.Join(alg, rEntry.Rel, sEntry.Rel, opts)
+	joinDur := time.Since(joinStart)
+	if err != nil {
+		s.rec.observeError(string(alg))
+		if ctx.Err() != nil {
+			writeError(w, http.StatusGatewayTimeout, "join cancelled after %v: %v", joinDur.Round(time.Millisecond), err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "join failed: %v", err)
+		return
+	}
+	s.rec.observe(string(alg), joinDur)
+
+	resp := JoinResponse{
+		Algorithm: string(alg),
+		Auto:      plannerInfo != nil,
+		Planner:   plannerInfo,
+		Matches:   res.Matches,
+		Checksum:  res.Checksum,
+		Modelled:  res.Modelled,
+		WaitMS:    float64(wait) / float64(time.Millisecond),
+		JoinMS:    float64(joinDur) / float64(time.Millisecond),
+	}
+	for _, p := range res.Phases {
+		resp.Phases = append(resp.Phases, PhaseInfo{Name: p.Name, MS: float64(p.Duration) / float64(time.Millisecond)})
+	}
+	if sink != nil {
+		sink.collect()
+		sink.finish(&resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries := s.catalog.List()
+	infos := make([]RelationInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, e.Info())
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Relations:  infos,
+		Admission:  s.adm.Snapshot(),
+		Algorithms: s.rec.snapshot(),
+		UptimeMS:   float64(time.Since(s.started)) / float64(time.Millisecond),
+	})
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds. Log-ish spacing
+// covers sub-millisecond cache-resident joins through multi-second
+// large-table runs; everything beyond the last bound lands in the overflow
+// bucket.
+var latencyBounds = []time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// latencyHist is one algorithm's cumulative service record: how many
+// requests ran it, how many failed, and the wall-clock latency
+// distribution of the successes.
+type latencyHist struct {
+	count   uint64
+	errs    uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets []uint64 // len(latencyBounds)+1; last is the overflow bucket
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{buckets: make([]uint64, len(latencyBounds)+1)}
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	for i, b := range latencyBounds {
+		if d <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(latencyBounds)]++
+}
+
+func (h *latencyHist) snapshot() AlgorithmStats {
+	st := AlgorithmStats{
+		Count:   h.count,
+		Errors:  h.errs,
+		TotalMS: float64(h.sum) / float64(time.Millisecond),
+		MaxMS:   float64(h.max) / float64(time.Millisecond),
+	}
+	st.Buckets = make([]HistBucket, 0, len(h.buckets))
+	for i, c := range h.buckets {
+		le := -1.0
+		if i < len(latencyBounds) {
+			le = float64(latencyBounds[i]) / float64(time.Millisecond)
+		}
+		st.Buckets = append(st.Buckets, HistBucket{LEMS: le, Count: c})
+	}
+	return st
+}
+
+// algRecorder aggregates per-algorithm latency histograms under one lock;
+// join latencies are tens of microseconds at minimum, so the lock is not a
+// throughput concern.
+type algRecorder struct {
+	mu    sync.Mutex
+	hists map[string]*latencyHist
+}
+
+func newAlgRecorder() *algRecorder {
+	return &algRecorder{hists: make(map[string]*latencyHist)}
+}
+
+func (r *algRecorder) hist(alg string) *latencyHist {
+	h, ok := r.hists[alg]
+	if !ok {
+		h = newLatencyHist()
+		r.hists[alg] = h
+	}
+	return h
+}
+
+func (r *algRecorder) observe(alg string, d time.Duration) {
+	r.mu.Lock()
+	r.hist(alg).observe(d)
+	r.mu.Unlock()
+}
+
+func (r *algRecorder) observeError(alg string) {
+	r.mu.Lock()
+	r.hist(alg).errs++
+	r.mu.Unlock()
+}
+
+func (r *algRecorder) snapshot() map[string]AlgorithmStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]AlgorithmStats, len(r.hists))
+	for alg, h := range r.hists {
+		out[alg] = h.snapshot()
+	}
+	return out
+}

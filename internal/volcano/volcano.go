@@ -88,6 +88,23 @@ func Sink(root Consumer, fresh func() Consumer) (factory func(worker int) outbuf
 	return factory, collect
 }
 
+// Count is the cheapest upper operator: it counts result rows as they
+// stream past, touching no tuple fields. The join service uses it for
+// streamed match counting — the batch length is known without inspecting
+// the ring-backed batch, so consumption cost is O(1) per flush.
+type Count struct {
+	Rows uint64
+}
+
+// NewCount returns a streaming row counter.
+func NewCount() *Count { return &Count{} }
+
+// Consume implements Consumer.
+func (c *Count) Consume(batch []outbuf.Result) { c.Rows += uint64(len(batch)) }
+
+// Merge implements Consumer.
+func (c *Count) Merge(other Consumer) { c.Rows += other.(*Count).Rows }
+
 // SumAggregate computes SUM over an expression of each result tuple.
 type SumAggregate struct {
 	Expr func(outbuf.Result) uint64

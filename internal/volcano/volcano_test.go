@@ -170,6 +170,19 @@ func TestSumAggregateThroughGbase(t *testing.T) {
 	}
 }
 
+func TestCountMatchesMatches(t *testing.T) {
+	// The streaming row counter must agree with the join's own match count
+	// across both skew paths of CSH.
+	r, s := workload(t, 1<<13, 0.9)
+	root := NewCount()
+	factory, collect := Sink(root, func() Consumer { return NewCount() })
+	res := csh.Join(r, s, csh.Config{Threads: 4, Flush: factory})
+	collect()
+	if root.Rows != res.Summary.Count {
+		t.Errorf("Count.Rows = %d, join matches = %d", root.Rows, res.Summary.Count)
+	}
+}
+
 func TestGroupSumMatchesClosedForm(t *testing.T) {
 	r, s := workload(t, 15000, 0.9)
 	root := NewGroupSum(func(res outbuf.Result) uint64 { return 1 }) // COUNT per key

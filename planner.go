@@ -98,6 +98,33 @@ func EstimateOutput(r, s Relation, cfg PlannerConfig) uint64 {
 	return uint64(float64(crossSample) * scaleR * scaleS)
 }
 
+// RecommendFromStats picks between the baseline and skew-conscious
+// algorithms from a relation's cached statistics, without rescanning the
+// relation. It applies Recommend's rule with the exact top-key frequency
+// standing in for the sampled estimate: the expected sampled frequency of
+// the top key is MaxKeyFreq/stride, and the extrapolation back is
+// MaxKeyFreq itself. The service layer's catalog uses this to plan `auto`
+// joins from statistics computed once at registration time.
+func RecommendFromStats(st RelationStats, cfg PlannerConfig) Recommendation {
+	cfg = cfg.defaults()
+	rec := Recommendation{CPU: Cbase, GPU: Gbase}
+	if st.Tuples == 0 {
+		return rec
+	}
+	stride := int(1 / cfg.SampleRate)
+	if stride < 1 {
+		stride = 1
+	}
+	rec.SampleSize = (st.Tuples + stride - 1) / stride
+	rec.TopKeyEstimate = st.MaxKeyFreq
+	expectedSampled := uint32(st.MaxKeyFreq / stride)
+	if expectedSampled >= cfg.MinFrequency && st.MaxKeyFreq >= cfg.PartitionTuples/4 {
+		rec.SkewDetected = true
+		rec.CPU, rec.GPU = CSH, GSH
+	}
+	return rec
+}
+
 // Recommend samples R and picks between the baseline and skew-conscious
 // algorithm for each architecture. It is the adaptive-dispatcher pattern
 // for skewed hash joins, built from the paper's own detection machinery.

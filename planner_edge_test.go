@@ -1,0 +1,112 @@
+package skewjoin
+
+import (
+	"testing"
+)
+
+// TestRecommendSingleKeyRelation: every tuple shares one key — the most
+// extreme skew. The sample is saturated with that key, so the
+// skew-conscious pair must be picked for any non-trivial relation.
+func TestRecommendSingleKeyRelation(t *testing.T) {
+	n := 1 << 14
+	keys := make([]Key, n)
+	pays := make([]Payload, n)
+	for i := range pays {
+		pays[i] = Payload(i)
+	}
+	rec := Recommend(NewRelation(keys, pays), PlannerConfig{})
+	if !rec.SkewDetected || rec.CPU != CSH || rec.GPU != GSH {
+		t.Errorf("single-key relation: %+v, want skew detected with CSH/GSH", rec)
+	}
+	if rec.TopKeyEstimate < n/2 {
+		t.Errorf("TopKeyEstimate = %d for a %d-tuple single-key relation", rec.TopKeyEstimate, n)
+	}
+}
+
+// TestRecommendTinySingleKeyRelation: a single-key relation too small to
+// dominate a partition budget stays on the baselines.
+func TestRecommendTinySingleKeyRelation(t *testing.T) {
+	rec := Recommend(NewRelation(make([]Key, 64), make([]Payload, 64)), PlannerConfig{SampleRate: 1})
+	if rec.SkewDetected {
+		t.Errorf("64-tuple single-key relation triggered skew: %+v", rec)
+	}
+}
+
+// TestRecommendSampleRateExtremes: SampleRate 0 falls back to the default
+// 1%, and rates above 1 clamp to scanning every tuple — neither may panic
+// or divide by zero.
+func TestRecommendSampleRateExtremes(t *testing.T) {
+	r, _, err := GenerateZipfPair(1<<14, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Recommend(r, PlannerConfig{})
+	zero := Recommend(r, PlannerConfig{SampleRate: 0})
+	if zero != def {
+		t.Errorf("SampleRate 0: %+v, want default-rate result %+v", zero, def)
+	}
+	over := Recommend(r, PlannerConfig{SampleRate: 2.5})
+	if over.SampleSize != r.Len() {
+		t.Errorf("SampleRate 2.5: sampled %d of %d tuples, want full scan", over.SampleSize, r.Len())
+	}
+	neg := Recommend(r, PlannerConfig{SampleRate: -1})
+	if neg != def {
+		t.Errorf("SampleRate -1: %+v, want default-rate result %+v", neg, def)
+	}
+}
+
+// TestEstimateOutputSampleRateExtremes mirrors the Recommend extremes for
+// the output estimator.
+func TestEstimateOutputSampleRateExtremes(t *testing.T) {
+	r, s, err := GenerateZipfPair(1<<12, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EstimateOutput(r, s, PlannerConfig{SampleRate: 3}); got == 0 {
+		t.Error("SampleRate 3 estimated zero output for a joinable pair")
+	}
+	def := EstimateOutput(r, s, PlannerConfig{})
+	if got := EstimateOutput(r, s, PlannerConfig{SampleRate: 0}); got != def {
+		t.Errorf("SampleRate 0: %d, want default-rate estimate %d", got, def)
+	}
+}
+
+// TestRecommendFromStatsEmptyAndSingle: stats-based planning handles the
+// degenerate shapes the scan-based planner handles.
+func TestRecommendFromStatsEmptyAndSingle(t *testing.T) {
+	rec := RecommendFromStats(RelationStats{}, PlannerConfig{})
+	if rec.SkewDetected || rec.CPU != Cbase || rec.GPU != Gbase {
+		t.Errorf("empty stats: %+v, want baselines", rec)
+	}
+	n := 1 << 14
+	st := Stats(NewRelation(make([]Key, n), make([]Payload, n)))
+	rec = RecommendFromStats(st, PlannerConfig{})
+	if !rec.SkewDetected || rec.CPU != CSH {
+		t.Errorf("single-key stats: %+v, want skew detected", rec)
+	}
+}
+
+// TestRecommendFromStatsGolden: the decision made from cached catalog
+// statistics must equal the decision made from a fresh scan of the same
+// relation, across the paper's zipf range. This is the invariant the
+// service layer relies on when planning `auto` joins from the catalog.
+func TestRecommendFromStatsGolden(t *testing.T) {
+	// Table size keeps every theta well clear of the detection boundary
+	// (the sampled estimate and the exact count can land on opposite sides
+	// of the partition-budget cutoff only when the top key sits near it).
+	for _, theta := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
+		for _, seed := range []int64{42, 7} {
+			r, _, err := GenerateZipfPair(1<<16, theta, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := Recommend(r, PlannerConfig{})
+			cached := RecommendFromStats(Stats(r), PlannerConfig{})
+			if fresh.SkewDetected != cached.SkewDetected ||
+				fresh.CPU != cached.CPU || fresh.GPU != cached.GPU {
+				t.Errorf("zipf %.1f seed %d: fresh scan %+v vs cached stats %+v",
+					theta, seed, fresh, cached)
+			}
+		}
+	}
+}

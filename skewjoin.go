@@ -32,6 +32,7 @@
 package skewjoin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -156,6 +157,13 @@ type Options struct {
 	// Sched selects the CPU dynamic-task-queue implementation for Cbase
 	// and CSH (default SchedAtomic).
 	Sched SchedMode
+	// Context optionally bounds the run: when it is cancelled or its
+	// deadline passes, Join returns ctx.Err() instead of a result. For
+	// Cbase and CSH cancellation is honoured at phase boundaries and
+	// between join tasks, so a run stops burning workers within one task's
+	// latency; the other algorithms check it only between phases. A nil
+	// Context never cancels.
+	Context context.Context
 }
 
 // JoinResult is one join output tuple as delivered to consumers.
@@ -208,52 +216,89 @@ func (r Result) Phase(name string) time.Duration {
 	return sum
 }
 
-// Join runs the selected algorithm over r and s. opts may be nil.
+// Join runs the selected algorithm over r and s. opts may be nil. When
+// opts.Context is cancelled before the run completes, Join discards the
+// partial output and returns the context's error.
 func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	ctx := opts.Context
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 	}
 	switch alg {
 	case Cbase:
 		res := cbase.Join(r, s, cbase.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
-			Scatter: opts.Scatter, Sched: opts.Sched,
+			Scatter: opts.Scatter, Sched: opts.Sched, Ctx: ctx,
 		})
+		if res.Canceled {
+			return Result{}, ctx.Err()
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case CbaseNPJ:
 		res := npj.Join(r, s, npj.Config{
 			Threads: opts.Threads, OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
 		})
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case CSH:
 		res := csh.Join(r, s, csh.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			SampleRate: opts.SampleRate, SkewThreshold: opts.SkewThreshold,
 			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
-			Scatter: opts.Scatter, Sched: opts.Sched,
+			Scatter: opts.Scatter, Sched: opts.Sched, Ctx: ctx,
 		})
+		if res.Canceled {
+			return Result{}, ctx.Err()
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case Gbase:
 		res := gbase.Join(r, s, gbase.Config{Device: opts.Device, Flush: opts.Consumer})
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), true), nil
 	case GSH:
 		res := gsh.Join(r, s, gsh.Config{
 			Device: opts.Device, SampleRate: opts.SampleRate, TopK: opts.TopK,
 			Flush: opts.Consumer,
 		})
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), true), nil
 	case SMJ:
 		res := smj.Join(r, s, smj.Config{
 			Threads: opts.Threads, OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
 		})
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case GSMJ:
 		res := gsmj.Join(r, s, gsmj.Config{Device: opts.Device})
+		if err := ctxErr(ctx); err != nil {
+			return Result{}, err
+		}
 		return wrap(alg, res.Summary, phases(res.Phases), true), nil
 	default:
 		return Result{}, fmt.Errorf("skewjoin: unknown algorithm %q", alg)
 	}
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func wrap(alg Algorithm, sum outbuf.Summary, ph []Phase, modelled bool) Result {
