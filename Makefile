@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-smoke bench-partition experiments examples serve-smoke clean
+.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -17,6 +17,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Project-specific static analysis: atomic consistency, context
+# propagation, hot-path allocations, lock discipline (see DESIGN.md).
+lint:
+	$(GO) run ./cmd/skewlint ./...
+
+# Run the whole suite with the sanitizer assertions compiled in
+# (chain-cycle detection, scatter bounds, ring geometry).
+test-sanitize:
+	$(GO) test -tags sanitize ./...
+
+# The pre-PR gate: everything CI checks that runs in minutes, locally.
+check: build vet lint test test-sanitize
+	test -z "$$(gofmt -l .)"
 
 # 60 seconds of differential fuzzing against the oracle.
 fuzz:

@@ -113,7 +113,7 @@ func Join(r, s relation.Relation, cfg Config) Result {
 	var timer exec.PhaseTimer
 	rcfg := radix.Config{
 		Threads: cfg.Threads, Bits1: cfg.Bits1, Bits2: cfg.Bits2,
-		Scatter: cfg.Scatter, Sched: cfg.Sched,
+		Scatter: cfg.Scatter, Sched: cfg.Sched, Ctx: cfg.Ctx,
 	}
 
 	// The R and S partitioning passes are independent, so they run

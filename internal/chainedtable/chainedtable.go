@@ -22,6 +22,7 @@ import (
 
 	"skewjoin/internal/hashfn"
 	"skewjoin/internal/relation"
+	"skewjoin/internal/sanitize"
 )
 
 // Table is a bucket-chained hash table over a tuple slice. Chains are
@@ -40,6 +41,8 @@ type Table struct {
 
 // Build constructs a table over tuples with roughly one bucket per tuple
 // (rounded up to a power of two). The tuple slice is retained, not copied.
+//
+//skewlint:hotpath
 func Build(tuples []relation.Tuple) *Table {
 	nb := hashfn.NextPow2(len(tuples))
 	if nb < 2 {
@@ -65,10 +68,16 @@ func Build(tuples []relation.Tuple) *Table {
 // Probe walks the chain of k's bucket, invoking fn for every tuple whose
 // key equals k, and returns the number of chain nodes visited (the probe
 // cost, used by the GPU divergence model).
+//
+//skewlint:hotpath
 func (t *Table) Probe(k relation.Key, fn func(pr relation.Payload)) int {
 	visited := 0
 	for i := t.heads[hashfn.Mix32(uint32(k))>>t.shift]; i >= 0; i = t.next[i] {
 		visited++
+		if sanitize.Enabled && visited > len(t.tuples) {
+			sanitize.Failf("chainedtable: cycle in bucket chain for key %d (visited %d nodes, table holds %d tuples)",
+				k, visited, len(t.tuples))
+		}
 		if t.tuples[i].Key == k {
 			fn(t.tuples[i].Payload)
 		}
@@ -79,10 +88,16 @@ func (t *Table) Probe(k relation.Key, fn func(pr relation.Payload)) int {
 // ChainLength returns the length of the chain that key k hashes into
 // (matching and colliding tuples alike). The GPU simulator uses it to
 // compute warp divergence without re-walking chains.
+//
+//skewlint:hotpath
 func (t *Table) ChainLength(k relation.Key) int {
 	n := 0
 	for i := t.heads[hashfn.Mix32(uint32(k))>>t.shift]; i >= 0; i = t.next[i] {
 		n++
+		if sanitize.Enabled && n > len(t.tuples) {
+			sanitize.Failf("chainedtable: cycle in bucket chain for key %d (visited %d nodes, table holds %d tuples)",
+				k, n, len(t.tuples))
+		}
 	}
 	return n
 }
@@ -91,12 +106,18 @@ func (t *Table) ChainLength(k relation.Key) int {
 // badly skew degrades chained hashing. Chains are walked with a running
 // maximum — no per-bucket allocation; the join phase calls this once per
 // build, so it sits on the task hot path.
+//
+//skewlint:hotpath
 func (t *Table) MaxChain() int {
 	max := 0
 	for b := range t.heads {
 		n := 0
 		for i := t.heads[b]; i >= 0; i = t.next[i] {
 			n++
+			if sanitize.Enabled && n > len(t.tuples) {
+				sanitize.Failf("chainedtable: cycle in bucket %d's chain (visited %d nodes, table holds %d tuples)",
+					b, n, len(t.tuples))
+			}
 		}
 		if n > max {
 			max = n
@@ -143,6 +164,8 @@ func NewConcurrent(tuples []relation.Tuple) *Concurrent {
 
 // Insert links tuple index i into its bucket. Each index must be inserted
 // exactly once; different threads must insert disjoint indexes.
+//
+//skewlint:hotpath
 func (c *Concurrent) Insert(i int) {
 	b := hashfn.Mix32(uint32(c.tuples[i].Key)) >> c.shift
 	for {
@@ -156,10 +179,16 @@ func (c *Concurrent) Insert(i int) {
 
 // Probe walks the chain of k's bucket, invoking fn for matches, and returns
 // the number of nodes visited. Probe must not run concurrently with Insert.
+//
+//skewlint:hotpath
 func (c *Concurrent) Probe(k relation.Key, fn func(pr relation.Payload)) int {
 	visited := 0
 	for i := c.heads[hashfn.Mix32(uint32(k))>>c.shift].Load(); i >= 0; i = c.next[i] {
 		visited++
+		if sanitize.Enabled && visited > len(c.tuples) {
+			sanitize.Failf("chainedtable: cycle in bucket chain for key %d (visited %d nodes, table holds %d tuples)",
+				k, visited, len(c.tuples))
+		}
 		if c.tuples[i].Key == k {
 			fn(c.tuples[i].Payload)
 		}

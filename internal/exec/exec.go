@@ -115,9 +115,9 @@ type Queue[T any] struct {
 	base []T          // immutable after NewQueue; the fetch-add fast path
 	next atomic.Int64 // claim cursor into base; may overshoot len(base)
 
-	mu       sync.Mutex // guards over and overNext
-	over     []T        // tasks pushed during draining
-	overNext int
+	mu       sync.Mutex
+	over     []T //skewlint:guarded-by mu
+	overNext int //skewlint:guarded-by mu
 }
 
 // NewQueue returns a queue pre-loaded with the given tasks. The slice is
@@ -262,8 +262,8 @@ func backoff(idle int) {
 // algorithms select it via radix.SchedMutex.
 type MutexQueue[T any] struct {
 	mu    sync.Mutex
-	tasks []T
-	next  int
+	tasks []T //skewlint:guarded-by mu
+	next  int //skewlint:guarded-by mu
 }
 
 // NewMutexQueue returns a mutex-guarded queue pre-loaded with tasks.
@@ -316,7 +316,7 @@ func (q *MutexQueue[T]) DrainCtx(ctx context.Context, threads int, fn func(worke
 // (Figure 1, Table I).
 type PhaseTimer struct {
 	mu     sync.Mutex
-	phases []Phase
+	phases []Phase //skewlint:guarded-by mu
 }
 
 // Phase is one named timed section of an algorithm.

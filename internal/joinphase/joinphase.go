@@ -65,6 +65,8 @@ type task struct {
 
 // Run joins every partition pair of pr and ps, emitting results into the
 // per-worker buffers bufs (len must be >= cfg.Threads).
+//
+//skewlint:hotpath
 func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 	if cfg.Threads <= 0 {
 		cfg.Threads = exec.DefaultThreads()

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzeAtomic enforces atomic-consistency: once a struct field is
+// accessed through sync/atomic anywhere in the program, every access must
+// be atomic. Mixed atomic/plain access is exactly the data race the race
+// detector only catches when both sides happen to run in one test.
+//
+// Two field flavours are covered:
+//
+//   - fields of a sync/atomic wrapper type (atomic.Int64, atomic.Bool, …):
+//     the field may only appear as the receiver of a method call or have
+//     its address taken; assigning or copying the wrapper bypasses the
+//     atomicity (and smuggles a stale value out).
+//   - plain integer fields passed to sync/atomic functions
+//     (atomic.AddUint64(&s.n, 1)): every other read or write of that
+//     field must also go through sync/atomic.
+//
+// Atomic use sites are collected across all loaded packages first, so a
+// field counts as atomic no matter which package performs the atomic
+// access; the plain-access scan is then limited to cfg.AtomicScope.
+func analyzeAtomic(l *Loader, pkgs []*Package, cfg Config) []Finding {
+	// Pass 1: find fields used through sync/atomic functions, and the
+	// selector nodes of those sanctioned uses.
+	atomicUse := make(map[*types.Var]token.Pos) // field -> first atomic use
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+					fn.Type().(*types.Signature).Recv() != nil || !isAtomicAccessFunc(fn.Name()) {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if v := fieldVarOf(pkg.Info, sel); v != nil {
+					if _, seen := atomicUse[v]; !seen {
+						atomicUse[v] = sel.Pos()
+					}
+					sanctioned[sel] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag plain accesses of atomically-used fields and misuse of
+	// atomic wrapper fields.
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if !inScope(pkg, cfg.AtomicScope) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			walkParents(file, func(n ast.Node, stack []ast.Node) {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				v := fieldVarOf(pkg.Info, sel)
+				if v == nil {
+					return
+				}
+				if usePos, isAtomic := atomicUse[v]; isAtomic && !sanctioned[sel] {
+					findings = append(findings, l.finding(sel.Pos(), RuleAtomic,
+						"field %s is accessed with sync/atomic at %s; this plain access races with it",
+						fieldLabel(v), l.fset.Position(usePos)))
+					return
+				}
+				if name, ok := atomicWrapperType(v.Type()); ok && !wrapperUseOK(pkg.Info, sel, stack) {
+					findings = append(findings, l.finding(sel.Pos(), RuleAtomic,
+						"field %s has type atomic.%s and must be used only through its methods (plain assignment or copy drops atomicity)",
+						fieldLabel(v), name))
+				}
+			})
+		}
+	}
+	return findings
+}
+
+// fieldLabel renders a field as Type.name for messages.
+func fieldLabel(v *types.Var) string {
+	name := v.Name()
+	if v.Pkg() != nil {
+		// Walk the package scope for the named type declaring this field,
+		// purely to improve the message; fall back to the bare name.
+		scope := v.Pkg().Scope()
+		for _, tn := range scope.Names() {
+			obj, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return obj.Name() + "." + name
+				}
+			}
+		}
+	}
+	return name
+}
+
+// atomicWrapperType reports whether t is one of sync/atomic's wrapper
+// types (Int32, Uint64, Bool, Pointer[T], Value, …) and returns its name.
+func atomicWrapperType(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// wrapperUseOK reports whether a selector naming an atomic-wrapper field
+// appears in a sanctioned position: as the receiver of a method call
+// (f.Load(), f.Add(1)) or with its address taken (&f, passing the wrapper
+// by pointer keeps a single shared instance).
+func wrapperUseOK(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// f is the X of parent: parent must select a method of the
+		// wrapper (f.Load, f.CompareAndSwap, …).
+		if parent.X == sel {
+			if _, ok := info.Uses[parent.Sel].(*types.Func); ok {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND && parent.X == sel {
+			return true
+		}
+	case *ast.ParenExpr:
+		// Unwrap one level: (&(f)) etc. Re-check against the grandparent.
+		return wrapperUseOK(info, sel, stack[:len(stack)-1])
+	}
+	return false
+}
+
+// atomicFuncPrefixes guards against future sync/atomic additions being
+// missed: any top-level sync/atomic function starting with one of these
+// performs an atomic memory access through its pointer argument.
+var atomicFuncPrefixes = []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicAccessFunc(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzeCtx enforces ctx-propagation: an exported function that spawns
+// goroutines (a `go` statement) or fans work out through the exec
+// substrate (calls matching cfg.CtxSpawners) must both accept a
+// context.Context — directly as a parameter or as a field of a
+// config-struct parameter — and actually forward or check it in its body.
+// A service under load cancels requests constantly; any parallel phase
+// that cannot observe cancellation strands worker goroutines behind
+// abandoned requests. The deliberately non-cancellable primitives
+// (exec.Parallel and the queue Drain methods themselves) are allowlisted
+// via cfg.CtxAllowlist.
+func analyzeCtx(l *Loader, pkgs []*Package, cfg Config) []Finding {
+	spawners := make(map[string]bool, len(cfg.CtxSpawners))
+	for _, s := range cfg.CtxSpawners {
+		spawners[s] = true
+	}
+	allow := make(map[string]bool, len(cfg.CtxAllowlist))
+	for _, s := range cfg.CtxAllowlist {
+		allow[s] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !exportedFunc(pkg, fd) {
+					continue
+				}
+				if allow[funcDeclQualifiedName(pkg, fd)] {
+					continue
+				}
+				spawnWhat := findSpawn(pkg, fd.Body, spawners)
+				if spawnWhat == "" {
+					continue
+				}
+				ctxParam, ctxField := contextAcceptor(pkg, fd)
+				if ctxParam == nil {
+					findings = append(findings, l.finding(fd.Name.Pos(), RuleCtx,
+						"exported %s %s but accepts no context.Context (argument or config field); parallel work it starts cannot be cancelled",
+						fd.Name.Name, spawnWhat))
+					continue
+				}
+				if !forwardsContext(pkg, fd.Body, ctxParam, ctxField) {
+					where := "parameter " + ctxParam.Name()
+					if ctxField != nil {
+						where = ctxParam.Name() + "." + ctxField.Name()
+					}
+					findings = append(findings, l.finding(fd.Name.Pos(), RuleCtx,
+						"exported %s %s and accepts a context (%s) but never forwards or checks it",
+						fd.Name.Name, spawnWhat, where))
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// exportedFunc reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// type.
+func exportedFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return true
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Exported()
+	}
+	return true
+}
+
+// findSpawn scans body for the first goroutine spawn or spawner call and
+// describes it for the finding message ("" = none).
+func findSpawn(pkg *Package, body *ast.BlockStmt, spawners map[string]bool) (what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			what = "spawns goroutines"
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, n); fn != nil && spawners[qualifiedName(fn)] {
+				what = "calls " + fn.Name() + " (parallel fan-out)"
+				return false
+			}
+		}
+		return true
+	})
+	return what
+}
+
+// contextAcceptor finds how fd can receive a context: a parameter of type
+// context.Context (field == nil), or a parameter whose (possibly
+// pointer-to) struct type carries a context.Context field — the
+// Config.Ctx convention the join algorithms use.
+func contextAcceptor(pkg *Package, fd *ast.FuncDecl) (param *types.Var, field *types.Var) {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) {
+			return p, nil
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		t := p.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for j := 0; j < st.NumFields(); j++ {
+			if f := st.Field(j); isContextType(f.Type()) {
+				return p, f
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// forwardsContext reports whether body uses the accepted context at all:
+// the ctx parameter itself is referenced, the config parameter's ctx
+// field is selected, or the whole config parameter is handed to another
+// call (which is then responsible for the context it contains).
+func forwardsContext(pkg *Package, body *ast.BlockStmt, param, field *types.Var) bool {
+	found := false
+	walkParents(body, func(n ast.Node, stack []ast.Node) {
+		if found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pkg.Info.Uses[n] != param {
+				return
+			}
+			if field == nil {
+				found = true
+				return
+			}
+			// Config param: forwarded when passed wholesale as a call
+			// argument (the callee owns the embedded context then).
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok {
+					for _, arg := range call.Args {
+						if arg == ast.Expr(n) {
+							found = true
+							return
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if field != nil && fieldVarOf(pkg.Info, n) == field {
+				found = true
+			}
+		}
+	})
+	return found
+}

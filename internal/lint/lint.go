@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the driver's file:line: [analyzer] format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer names, used in output, suppression comments, and Config.
+const (
+	RuleAtomic  = "atomic-consistency"
+	RuleCtx     = "ctx-propagation"
+	RuleHotPath = "hot-path-alloc"
+	RuleLock    = "lock-discipline"
+)
+
+// Config tunes the analyzers.
+type Config struct {
+	// CtxSpawners are qualified names ("pkgpath.Func" or
+	// "pkgpath.Type.Method") whose call sites count as spawning parallel
+	// work for ctx-propagation, in addition to `go` statements.
+	CtxSpawners []string
+	// CtxAllowlist are qualified names of exported functions exempt from
+	// ctx-propagation — the deliberate non-ctx primitives (e.g.
+	// exec.Parallel itself).
+	CtxAllowlist []string
+	// AtomicScope restricts atomic-consistency's plain-access scan to
+	// packages with one of these import-path prefixes (empty = all
+	// loaded packages). Atomic use sites are collected everywhere
+	// regardless, so a field is recognised as atomic no matter where the
+	// atomic access lives.
+	AtomicScope []string
+}
+
+// DefaultConfig is the project configuration skewlint runs with: the
+// exec package's non-ctx scheduling primitives are the explicit
+// allowlist, and its queue-draining entry points are the spawner set.
+func DefaultConfig() Config {
+	const exec = "skewjoin/internal/exec"
+	return Config{
+		CtxSpawners: []string{
+			exec + ".Parallel",
+			exec + ".ParallelCtx",
+			exec + ".Queue.Drain",
+			exec + ".Queue.DrainCtx",
+			exec + ".MutexQueue.Drain",
+			exec + ".MutexQueue.DrainCtx",
+		},
+		CtxAllowlist: []string{
+			// The paper's scheduling shapes are deliberately ctx-free:
+			// cancellation is layered on top via the *Ctx variants, and
+			// the non-Ctx forms stay for callers that must not be
+			// cancellable (e.g. oracle verification).
+			exec + ".Parallel",
+			exec + ".Queue.Drain",
+			exec + ".MutexQueue.Drain",
+		},
+	}
+}
+
+// Run executes every analyzer over the loaded packages and returns the
+// surviving findings (suppressions applied) sorted by position.
+func Run(l *Loader, pkgs []*Package, cfg Config) []Finding {
+	var all []Finding
+	all = append(all, analyzeAtomic(l, pkgs, cfg)...)
+	all = append(all, analyzeCtx(l, pkgs, cfg)...)
+	all = append(all, analyzeHotPath(l, pkgs)...)
+	all = append(all, analyzeLocks(l, pkgs)...)
+	all = suppress(l, pkgs, all)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// finding builds a Finding at pos with the file path relative to the
+// module root (stable output regardless of invocation directory).
+func (l *Loader) finding(pos token.Pos, analyzer, format string, args ...any) Finding {
+	p := l.fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(l.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{
+		File:     file,
+		Line:     p.Line,
+		Col:      p.Column,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// suppress drops findings covered by a //skewlint:ignore directive on the
+// same line or the line directly above. A bare ignore suppresses every
+// rule on that line; `//skewlint:ignore rule1 rule2` only the named ones.
+func suppress(l *Loader, pkgs []*Package, findings []Finding) []Finding {
+	type key struct {
+		file string
+		line int
+	}
+	ignores := make(map[key][]string) // nil slice = ignore all rules
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//skewlint:ignore")
+					if !ok {
+						continue
+					}
+					p := l.fset.Position(c.Pos())
+					rules := strings.FieldsFunc(text, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+					// Keep rationale comments out of the rule list:
+					// everything after " -- " is prose.
+					for i, r := range rules {
+						if r == "--" {
+							rules = rules[:i]
+							break
+						}
+					}
+					k := key{file: p.Filename, line: p.Line}
+					if len(rules) == 0 {
+						ignores[k] = nil
+						continue
+					}
+					ignores[k] = append(ignores[k], rules...)
+				}
+			}
+		}
+	}
+	matches := func(f Finding, line int) bool {
+		abs := filepath.Join(l.ModuleRoot, filepath.FromSlash(f.File))
+		rules, ok := ignores[key{file: abs, line: line}]
+		if !ok {
+			return false
+		}
+		if len(rules) == 0 {
+			return true
+		}
+		for _, r := range rules {
+			if r == f.Analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if matches(f, f.Line) || matches(f, f.Line-1) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// inScope reports whether pkg matches one of the import-path prefixes
+// (empty prefixes = everything).
+func inScope(pkg *Package, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if pkg.PkgPath == p || strings.HasPrefix(pkg.PkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName renders a function object as pkgpath.Func or
+// pkgpath.Type.Method for matching against Config lists.
+func qualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// funcDeclQualifiedName renders a declaration's qualified name, matching
+// qualifiedName's format.
+func funcDeclQualifiedName(pkg *Package, decl *ast.FuncDecl) string {
+	if obj, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+		return qualifiedName(obj)
+	}
+	return pkg.PkgPath + "." + decl.Name.Name
+}
+
+// calleeFunc resolves a call expression to the function object it
+// invokes, unwrapping parens; nil for indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// fieldVarOf resolves a selector expression to the struct field it
+// denotes, or nil when it denotes anything else (method, package member,
+// local, …).
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	// Qualified identifiers (pkg.Var) land in Uses, not Selections, and
+	// are not fields; selections cover every genuine field access.
+	return nil
+}

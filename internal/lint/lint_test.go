@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runFixture materialises a throwaway single-module fixture, loads every
+// package in it, and runs the analyzers with cfg.
+func runFixture(t *testing.T, cfg Config, files map[string]string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return Run(l, pkgs, cfg)
+}
+
+// byRule filters findings down to one analyzer.
+func byRule(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Analyzer == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func wantCount(t *testing.T, fs []Finding, rule string, n int) []Finding {
+	t.Helper()
+	got := byRule(fs, rule)
+	if len(got) != n {
+		t.Fatalf("want %d %s finding(s), got %d: %v", n, rule, len(got), got)
+	}
+	return got
+}
+
+func TestAtomicMixedAccessFlagged(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"s.go": `package fixture
+
+import "sync/atomic"
+
+type S struct{ n int64 }
+
+func Inc(s *S) { atomic.AddInt64(&s.n, 1) }
+
+func Read(s *S) int64 { return s.n }
+`,
+	})
+	got := wantCount(t, fs, RuleAtomic, 1)
+	if !strings.Contains(got[0].Message, "S.n") {
+		t.Errorf("finding should name the field S.n: %s", got[0].Message)
+	}
+	if got[0].Line != 9 {
+		t.Errorf("finding should point at the plain read (line 9), got line %d", got[0].Line)
+	}
+}
+
+func TestAtomicConsistentAccessClean(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"s.go": `package fixture
+
+import "sync/atomic"
+
+type S struct{ n int64 }
+
+func Inc(s *S) { atomic.AddInt64(&s.n, 1) }
+
+func Read(s *S) int64 { return atomic.LoadInt64(&s.n) }
+`,
+	})
+	wantCount(t, fs, RuleAtomic, 0)
+}
+
+func TestAtomicWrapperMisuseFlagged(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"s.go": `package fixture
+
+import "sync/atomic"
+
+type S struct{ c atomic.Int64 }
+
+func Get(s *S) int64 { return s.c.Load() }
+
+func Snapshot(s *S) atomic.Int64 { return s.c }
+`,
+	})
+	got := wantCount(t, fs, RuleAtomic, 1)
+	if got[0].Line != 9 {
+		t.Errorf("only the wrapper copy (line 9) should be flagged, got line %d", got[0].Line)
+	}
+}
+
+func TestCtxMissingOnGoroutineSpawn(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func Launch(n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func launch() { go func() {}() }
+`,
+	})
+	got := wantCount(t, fs, RuleCtx, 1)
+	if !strings.Contains(got[0].Message, "Launch") {
+		t.Errorf("unexported launch must not be flagged, only Launch: %s", got[0].Message)
+	}
+}
+
+func TestCtxAcceptedButNeverForwarded(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "context"
+
+func Launch(ctx context.Context) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`,
+	})
+	got := wantCount(t, fs, RuleCtx, 1)
+	if !strings.Contains(got[0].Message, "never forwards") {
+		t.Errorf("want a never-forwards finding, got: %s", got[0].Message)
+	}
+}
+
+func TestCtxForwardedClean(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "context"
+
+func Launch(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return ctx.Err()
+}
+`,
+	})
+	wantCount(t, fs, RuleCtx, 0)
+}
+
+func TestCtxConfigFieldConvention(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "context"
+
+type Config struct {
+	Threads int
+	Ctx     context.Context
+}
+
+func Run(cfg Config) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	if cfg.Ctx != nil {
+		_ = cfg.Ctx.Err()
+	}
+}
+
+func RunIgnoring(cfg Config) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`,
+	})
+	got := wantCount(t, fs, RuleCtx, 1)
+	if !strings.Contains(got[0].Message, "RunIgnoring") {
+		t.Errorf("Run forwards cfg.Ctx and must be clean; want RunIgnoring flagged: %s", got[0].Message)
+	}
+	if !strings.Contains(got[0].Message, "cfg.Ctx") {
+		t.Errorf("finding should name the ignored config field cfg.Ctx: %s", got[0].Message)
+	}
+}
+
+func TestCtxSpawnerCallAndAllowlist(t *testing.T) {
+	cfg := Config{
+		CtxSpawners:  []string{"fixture.Fan"},
+		CtxAllowlist: []string{"fixture.Fan"},
+	}
+	fs := runFixture(t, cfg, map[string]string{
+		"f.go": `package fixture
+
+import "sync"
+
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) { defer wg.Done(); fn(i) }(i)
+	}
+	wg.Wait()
+}
+
+func Uses(n int) {
+	Fan(n, func(int) {})
+}
+`,
+	})
+	got := wantCount(t, fs, RuleCtx, 1)
+	if !strings.Contains(got[0].Message, "Uses") || !strings.Contains(got[0].Message, "Fan") {
+		t.Errorf("allowlisted Fan must be clean; Uses must be flagged for calling it: %s", got[0].Message)
+	}
+}
+
+func TestHotPathAllocations(t *testing.T) {
+	body := `(xs []int) string {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	var bad []int
+	bad = append(bad, 1)
+	m := map[int]int{}
+	mm := make(map[int]int)
+	_, _ = m, mm
+	_ = time.Now()
+	return fmt.Sprint(out, bad)
+}
+`
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+//skewlint:hotpath
+func Hot` + body + `
+func Cold` + body,
+	})
+	got := wantCount(t, fs, RuleHotPath, 5)
+	for _, f := range got {
+		if !strings.Contains(f.Message, "Hot") {
+			t.Errorf("unmarked Cold must not be flagged: %s", f.Message)
+		}
+	}
+	// The preallocated append (out) must not be among the findings.
+	for _, f := range got {
+		if f.Line == 10 {
+			t.Errorf("append to preallocated slice must be clean: %v", f)
+		}
+	}
+}
+
+func TestLockDiscipline(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"c.go": `package fixture
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int //skewlint:guarded-by mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Peek() int { return c.n }
+
+func (c *Counter) bumpLocked() { c.n++ }
+`,
+	})
+	got := wantCount(t, fs, RuleLock, 1)
+	if !strings.Contains(got[0].Message, "Peek") {
+		t.Errorf("only Peek should be flagged (Inc locks, bumpLocked is conventioned): %s", got[0].Message)
+	}
+}
+
+func TestLockDirectiveErrors(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"c.go": `package fixture
+
+type MissingGuard struct {
+	n int //skewlint:guarded-by mu
+}
+
+type NotAMutex struct {
+	g int
+	n int //skewlint:guarded-by g
+}
+`,
+	})
+	got := wantCount(t, fs, RuleLock, 2)
+	if !strings.Contains(got[0].Message, "not a sibling field") {
+		t.Errorf("unknown guard should be reported: %s", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "not a sync.Mutex") {
+		t.Errorf("non-mutex guard should be reported: %s", got[1].Message)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func SameLine(n int) { //skewlint:ignore ctx-propagation -- deliberate fire-and-forget
+	go func() {}()
+}
+
+//skewlint:ignore
+func LineAbove(n int) { go func() {}() }
+
+func WrongRule(n int) { //skewlint:ignore hot-path-alloc
+	go func() {}()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleCtx, 1)
+	if !strings.Contains(got[0].Message, "WrongRule") {
+		t.Errorf("only WrongRule should survive (its ignore names another rule): %s", got[0].Message)
+	}
+}
+
+// TestRepositoryIsClean runs the full configured analysis over this module
+// — the same check `make lint` gates on — so a violation introduced
+// anywhere in the repo fails the ordinary test suite too.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, f := range Run(l, pkgs, DefaultConfig()) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,312 @@
+// Package lint is skewlint's analysis engine: a stdlib-only static
+// analyzer for the project-specific invariants the Go compiler cannot
+// check. The join algorithms are correct only under rules established in
+// earlier PRs — contention-free scatter regions, atomic-only access to
+// shared counters, context propagation through every goroutine-spawning
+// path, allocation-free inner loops — and those rules rot silently as the
+// code grows. Each analyzer pins one of them down:
+//
+//   - atomic-consistency: a struct field accessed through sync/atomic
+//     anywhere must never be read or written plainly elsewhere.
+//   - ctx-propagation: an exported function that spawns goroutines or
+//     drains a task queue must accept and forward a context.Context
+//     (deliberate non-ctx primitives are allowlisted).
+//   - hot-path-alloc: functions marked //skewlint:hotpath must not call
+//     fmt, take time.Now, allocate maps, or append to slices without
+//     preallocated capacity.
+//   - lock-discipline: a field marked //skewlint:guarded-by mu may only
+//     be touched inside functions that lock mu (or whose name ends in
+//     "Locked", the held-lock calling convention).
+//
+// Findings can be suppressed per line with //skewlint:ignore <rules>.
+//
+// The engine is built on go/parser and go/types only — no analysis
+// framework, no module dependencies. Imports inside the module are
+// resolved straight from the module tree; everything else (the standard
+// library) is type-checked from source via go/importer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// PkgPath is the import path (module path + directory).
+	PkgPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the packages of a single module.
+type Loader struct {
+	// ModuleRoot is the absolute path of the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset  *token.FileSet
+	ctxt  build.Context
+	std   types.ImporterFrom
+	cache map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a loader rooted at the module containing dir (dir or
+// any of its parents must hold a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	// Type-checking runs from source; disabling cgo selects the pure-Go
+	// variants of standard-library packages so no C toolchain is needed.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		ctxt:       ctxt,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:      make(map[string]*loadResult),
+	}, nil
+}
+
+// Fset exposes the loader's file set for position rendering.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the given package patterns (import paths relative to the
+// module root; "./..." and "dir/..." wildcards are supported) and returns
+// the loaded packages sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "." || pat == "" {
+			pat = ""
+		} else {
+			pat = strings.TrimPrefix(pat, "./")
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		names, err := l.sourceFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue // not a Go package directory
+		}
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// importPathFor maps a module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// sourceFiles lists the non-test Go files of dir that match the default
+// build constraints (so tag-gated variants like sanitize stubs resolve
+// exactly as a normal `go build` would).
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, name), err)
+		}
+		if ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loadDir parses and type-checks the package in dir, memoized by import
+// path so every package is checked exactly once per loader.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path, dir)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if res, ok := l.cache[path]; ok {
+		return res.pkg, res.err
+	}
+	// Reserve the slot first: an import cycle would otherwise recurse
+	// forever. Valid Go has no cycles, so hitting the reserved slot again
+	// reports one instead of hanging.
+	l.cache[path] = &loadResult{err: fmt.Errorf("lint: import cycle through %s", path)}
+	pkg, err := l.typeCheck(path, dir)
+	l.cache[path] = &loadResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) typeCheck(path, dir string) (*Package, error) {
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	return &Package{PkgPath: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local import paths are
+// resolved against the module tree (and share the loader's cache), all
+// others are delegated to the source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		pkg, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzeLocks enforces lock-discipline: a struct field annotated with
+//
+//	mu    sync.Mutex
+//	count int //skewlint:guarded-by mu
+//
+// may only be touched inside a function that locks that mutex (any
+// mu.Lock() or mu.RLock() call in the function body — the check is
+// flow-insensitive) or whose name ends in "Locked", the project's
+// calling convention for helpers that require the lock to be held by the
+// caller. Struct composite literals are exempt: a value under
+// construction is not yet shared.
+//
+// The directive may sit in the field's doc comment or its trailing
+// same-line comment; the named guard must be a sibling field of type
+// sync.Mutex or sync.RWMutex.
+func analyzeLocks(l *Loader, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		guards := collectGuards(l, pkg, &findings)
+		if len(guards) == 0 {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				findings = append(findings, checkLockFunc(l, pkg, fd, guards)...)
+			}
+		}
+	}
+	return findings
+}
+
+// collectGuards maps each annotated field to its guarding mutex field.
+// Annotation errors (unknown guard, guard that is not a mutex) are
+// reported as findings so a typo cannot silently disable the rule.
+func collectGuards(l *Loader, pkg *Package, findings *[]Finding) map[*types.Var]*types.Var {
+	guards := make(map[*types.Var]*types.Var)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guardName, ok := guardDirective(field)
+				if !ok {
+					continue
+				}
+				mu := findSibling(pkg, st, guardName)
+				if mu == nil {
+					*findings = append(*findings, l.finding(field.Pos(), RuleLock,
+						"guarded-by names %q, which is not a sibling field of this struct", guardName))
+					continue
+				}
+				if !isMutexType(mu.Type()) {
+					*findings = append(*findings, l.finding(field.Pos(), RuleLock,
+						"guarded-by names %q, which is not a sync.Mutex or sync.RWMutex", guardName))
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardDirective extracts the //skewlint:guarded-by argument from a
+// field's doc or trailing comment.
+func guardDirective(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//skewlint:guarded-by"); ok {
+				name := strings.TrimSpace(rest)
+				if name == "" {
+					return "", false
+				}
+				return strings.Fields(name)[0], true
+			}
+		}
+	}
+	return "", false
+}
+
+// findSibling resolves a field name inside the same struct literal type.
+func findSibling(pkg *Package, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkLockFunc flags accesses to guarded fields inside fd when fd
+// neither locks the guarding mutex anywhere in its body nor declares the
+// held-lock convention with a name ending in "Locked".
+func checkLockFunc(l *Loader, pkg *Package, fd *ast.FuncDecl, guards map[*types.Var]*types.Var) []Finding {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return nil
+	}
+	// Which mutexes does this function lock (flow-insensitively)?
+	locked := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if v := fieldVarOf(pkg.Info, muSel); v != nil {
+				locked[v] = true
+			}
+		}
+		return true
+	})
+
+	var findings []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Note: struct-literal keys (T{field: v}) are plain identifiers,
+		// not selector expressions, so constructing a fresh value is
+		// naturally exempt — only accesses through a value (x.field) are
+		// selections.
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v := fieldVarOf(pkg.Info, sel)
+		if v == nil {
+			return true
+		}
+		mu, guarded := guards[v]
+		if !guarded || locked[mu] {
+			return true
+		}
+		findings = append(findings, l.finding(sel.Pos(), RuleLock,
+			"field %s is guarded by %q but %s neither locks it nor is named *Locked",
+			fieldLabel(v), mu.Name(), fd.Name.Name))
+		return true
+	})
+	return findings
+}

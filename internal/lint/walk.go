@@ -1,0 +1,19 @@
+package lint
+
+import "go/ast"
+
+// walkParents traverses root in depth-first order, invoking fn with every
+// node and the stack of its ancestors (stack[len-1] is the direct
+// parent). The stack is reused between calls; callers must not retain it.
+func walkParents(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -12,6 +12,7 @@
 package npj
 
 import (
+	"context"
 	"time"
 
 	"skewjoin/internal/chainedtable"
@@ -29,6 +30,10 @@ type Config struct {
 	// Flush optionally installs a per-worker batch consumer on the output
 	// buffers (the volcano model's upper operator).
 	Flush func(worker int) outbuf.FlushFunc
+	// Ctx optionally cancels the run (nil = never). Cancellation is
+	// checked at phase boundaries: a cancelled run stops before the next
+	// phase and returns with Result.Canceled set.
+	Ctx context.Context
 }
 
 // Defaults fills zero fields.
@@ -49,6 +54,9 @@ type Result struct {
 	Summary outbuf.Summary
 	Phases  []exec.Phase // "build", "probe"
 	Stats   Stats
+	// Canceled reports that Config.Ctx fired before the run completed;
+	// the partial Summary and Stats must be discarded.
+	Canceled bool
 }
 
 // Total returns the end-to-end time of the run.
@@ -65,6 +73,10 @@ func Join(r, s relation.Relation, cfg Config) Result {
 	cfg = cfg.Defaults()
 	var res Result
 	var timer exec.PhaseTimer
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		return res
+	}
 
 	table := chainedtable.NewConcurrent(r.Tuples)
 	timer.Time("build", func() {
@@ -75,6 +87,12 @@ func Join(r, s relation.Relation, cfg Config) Result {
 			}
 		})
 	})
+
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		res.Phases = timer.Phases()
+		return res
+	}
 
 	// Buffers are created (and consumers installed) before the parallel
 	// section: Flush factories need not be safe for concurrent calls.

@@ -22,6 +22,7 @@ package outbuf
 import (
 	"skewjoin/internal/hashfn"
 	"skewjoin/internal/relation"
+	"skewjoin/internal/sanitize"
 )
 
 // Checksum coefficients. Odd constants so multiplication is invertible
@@ -69,6 +70,9 @@ func New(capacity int) *Buffer {
 		capacity = DefaultCapacity
 	}
 	capacity = hashfn.NextPow2(capacity)
+	if sanitize.Enabled && capacity&(capacity-1) != 0 {
+		sanitize.Failf("outbuf: ring capacity %d is not a power of two; pos&mask indexing would skip slots", capacity)
+	}
 	return &Buffer{ring: make([]Result, capacity), mask: capacity - 1}
 }
 
@@ -89,7 +93,12 @@ func (b *Buffer) Flush() {
 }
 
 // Push emits one join result.
+//
+//skewlint:hotpath
 func (b *Buffer) Push(k relation.Key, pr, ps relation.Payload) {
+	if sanitize.Enabled {
+		b.checkRing()
+	}
 	b.ring[b.pos&b.mask] = Result{Key: k, PayloadR: pr, PayloadS: ps}
 	b.pos++
 	b.count++
@@ -103,6 +112,8 @@ func (b *Buffer) Push(k relation.Key, pr, ps relation.Payload) {
 // S tuple (k, ps). This is the skew fast path of CSH and GSH: a skewed
 // S tuple joined against the whole skewed R array with sequential reads and
 // no per-result key comparison.
+//
+//skewlint:hotpath
 func (b *Buffer) PushRun(k relation.Key, rps []relation.Payload, ps relation.Payload) {
 	// The checksum is linear, so the whole run contributes
 	// n·(A·k + C·ps) + B·Σrp — one multiply per run instead of three per
@@ -110,6 +121,9 @@ func (b *Buffer) PushRun(k relation.Key, rps []relation.Payload, ps relation.Pay
 	// inner loop is a sequential read, a buffer write and an add, with no
 	// key comparison (§IV-A: CSH "avoids the cost of verifying if the R
 	// and S keys match before generating every join result tuple").
+	if sanitize.Enabled {
+		b.checkRing()
+	}
 	ring := b.ring
 	mask := b.mask
 	pos := b.pos
@@ -139,7 +153,12 @@ func (b *Buffer) PushRun(k relation.Key, rps []relation.Payload, ps relation.Pay
 // PushRunS emits one result per S payload in sps, all matching the same
 // R tuple (k, pr). This is GSH's skew-join fast path: one thread block per
 // skewed R tuple streaming the skewed S array with coalesced accesses.
+//
+//skewlint:hotpath
 func (b *Buffer) PushRunS(k relation.Key, pr relation.Payload, sps []relation.Payload) {
+	if sanitize.Enabled {
+		b.checkRing()
+	}
 	ring := b.ring
 	mask := b.mask
 	pos := b.pos
@@ -164,6 +183,19 @@ func (b *Buffer) PushRunS(k relation.Key, pr relation.Payload, sps []relation.Pa
 	n := uint64(len(sps))
 	b.count += n
 	b.checksum += coefPayloadS*psSum + n*(coefKey*uint64(k)+coefPayloadR*uint64(pr))
+}
+
+// checkRing validates the ring geometry the masked-index emit loops rely
+// on: a power-of-two ring with mask == len-1 and a non-negative cursor. A
+// Buffer constructed by hand (not via New) with a non-power-of-two ring
+// would silently overwrite a subset of slots and corrupt Last's output.
+func (b *Buffer) checkRing() {
+	if len(b.ring) == 0 || len(b.ring)&(len(b.ring)-1) != 0 || b.mask != len(b.ring)-1 {
+		sanitize.Failf("outbuf: ring of %d slots with mask %#x violates the power-of-two ring geometry", len(b.ring), b.mask)
+	}
+	if b.pos < 0 {
+		sanitize.Failf("outbuf: negative ring cursor %d", b.pos)
+	}
 }
 
 // Count returns the number of results emitted so far.

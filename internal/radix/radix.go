@@ -25,9 +25,12 @@
 package radix
 
 import (
+	"context"
+
 	"skewjoin/internal/exec"
 	"skewjoin/internal/hashfn"
 	"skewjoin/internal/relation"
+	"skewjoin/internal/sanitize"
 )
 
 // Config controls the partitioner.
@@ -47,6 +50,12 @@ type Config struct {
 	// SchedAtomic, the lock-free fetch-add queue). SchedMutex restores the
 	// seed's mutex-guarded queue for A/B benchmarks.
 	Sched SchedMode
+	// Ctx optionally cancels partitioning between passes and, during pass
+	// 2, between partition tasks (nil = run to completion). A cancelled
+	// run returns an empty Partitioned with the configured fanout so the
+	// result stays shape-valid; callers observing a done context discard
+	// it.
+	Ctx context.Context
 }
 
 // Fanout returns the total number of final partitions.
@@ -112,6 +121,8 @@ func (p *Partitioned) MaxPartition() (idx, size int) {
 
 // partID computes the final partition of a key under cfg: pass-1 bits are
 // the low Bits1 bits of the hashed key, pass-2 bits the next Bits2.
+//
+//skewlint:hotpath
 func partID(k relation.Key, cfg Config) uint32 {
 	p1 := hashfn.Radix(k, 0, cfg.Bits1)
 	p2 := hashfn.Radix(k, cfg.Bits1, cfg.Bits2)
@@ -124,16 +135,51 @@ func Partition(src []relation.Tuple, cfg Config, div *Diverter) *Partitioned {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
+	if canceled(cfg.Ctx) {
+		return emptyPartitioned(cfg.Fanout())
+	}
 	pass1 := passOne(src, cfg, div)
 	if cfg.Bits2 == 0 {
 		pass1.fanout = 1 << cfg.Bits1
+		checkPlacement(pass1, cfg)
 		return pass1
 	}
-	return passTwo(pass1, cfg)
+	if canceled(cfg.Ctx) {
+		return emptyPartitioned(cfg.Fanout())
+	}
+	out := passTwo(pass1, cfg)
+	checkPlacement(out, cfg)
+	return out
+}
+
+// checkPlacement runs VerifyPlacement on sanitize builds: every tuple
+// must sit inside the partition its key hashes to, or the scatter wrote
+// across a region boundary. No cost on normal builds (Enabled is a false
+// constant). A cancelled run's empty result passes trivially.
+func checkPlacement(p *Partitioned, cfg Config) {
+	if !sanitize.Enabled {
+		return
+	}
+	if i := VerifyPlacement(p, cfg); i >= 0 {
+		sanitize.Failf("radix: tuple %d (key %d) landed outside partition %d",
+			i, p.Data[i].Key, partID(p.Data[i].Key, cfg))
+	}
+}
+
+// canceled reports whether an optional context is already done.
+func canceled(ctx context.Context) bool { return ctx != nil && ctx.Err() != nil }
+
+// emptyPartitioned is the shape-valid zero result a cancelled run
+// returns: no tuples, but Offsets sized for the fanout so Part/Size
+// never index out of range on the discarded value.
+func emptyPartitioned(fanout int) *Partitioned {
+	return &Partitioned{Offsets: make([]int, fanout+1), fanout: fanout}
 }
 
 // passOne performs the segment-parallel count-then-copy pass over src,
 // partitioning on the low Bits1 bits.
+//
+//skewlint:hotpath
 func passOne(src []relation.Tuple, cfg Config, div *Diverter) *Partitioned {
 	fanout := 1 << cfg.Bits1
 	threads := cfg.Threads
@@ -183,6 +229,8 @@ const prefixCells = 1 << 14
 // block-local scans in parallel, a serial prefix over the block totals,
 // then a parallel fix-up — so the pass-1 barrier between the count and
 // copy scans no longer serialises on fanout x threads additions.
+//
+//skewlint:hotpath
 func prefixSums(hist [][]int, fanout, threads int) (offsets []int, cursor [][]int) {
 	offsets = make([]int, fanout+1)
 	cursor = make([][]int, threads)
@@ -242,7 +290,7 @@ func prefixSums(hist [][]int, fanout, threads int) (offsets []int, cursor [][]in
 
 // passTwo sub-partitions each pass-1 partition on the next Bits2 bits.
 func passTwo(p1 *Partitioned, cfg Config) *Partitioned {
-	return passNext(p1, cfg.Bits1, cfg.Bits2, cfg.Threads, cfg.Scatter, cfg.Sched)
+	return passNext(p1, cfg.Ctx, cfg.Bits1, cfg.Bits2, cfg.Threads, cfg.Scatter, cfg.Sched)
 }
 
 // passNext refines every partition of p on the radix bits
@@ -251,8 +299,12 @@ func passTwo(p1 *Partitioned, cfg Config) *Partitioned {
 // views each partition as a partition task and adds it into a task queue
 // in the second pass"); its output stays inside its contiguous region.
 // The queue never grows while draining, so with SchedAtomic every dequeue
-// takes the lock-free fetch-add fast path.
-func passNext(p1 *Partitioned, shift, bits uint32, threads int, scatter ScatterMode, sched SchedMode) *Partitioned {
+// takes the lock-free fetch-add fast path. A non-nil ctx cancels between
+// tasks; a cut-short drain leaves holes in subOffsets, so the pass then
+// returns the empty shape instead of reading them.
+//
+//skewlint:hotpath
+func passNext(p1 *Partitioned, ctx context.Context, shift, bits uint32, threads int, scatter ScatterMode, sched SchedMode) *Partitioned {
 	fanPrev := p1.fanout
 	fanSub := 1 << bits
 	fanout := fanPrev * fanSub
@@ -301,10 +353,19 @@ func passNext(p1 *Partitioned, shift, bits uint32, threads int, scatter ScatterM
 		}
 		subOffsets[t.p] = offs
 	}
-	if sched == SchedMutex {
+	var cut error
+	switch {
+	case sched == SchedMutex && ctx != nil:
+		cut = exec.NewMutexQueue(tasks).DrainCtx(ctx, threads, work)
+	case sched == SchedMutex:
 		exec.NewMutexQueue(tasks).Drain(threads, work)
-	} else {
+	case ctx != nil:
+		cut = exec.NewQueue(tasks).DrainCtx(ctx, threads, work)
+	default:
 		exec.NewQueue(tasks).Drain(threads, work)
+	}
+	if cut != nil {
+		return emptyPartitioned(fanout)
 	}
 
 	for p := 0; p < fanPrev; p++ {
@@ -338,7 +399,7 @@ func MultiPass(src []relation.Tuple, threads int, bits []uint32, div *Diverter) 
 		if b == 0 {
 			continue
 		}
-		p = passNext(p, shift, b, threads, ScatterAuto, SchedAtomic)
+		p = passNext(p, nil, shift, b, threads, ScatterAuto, SchedAtomic)
 		shift += b
 	}
 	return p

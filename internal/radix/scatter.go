@@ -18,6 +18,7 @@ package radix
 import (
 	"skewjoin/internal/hashfn"
 	"skewjoin/internal/relation"
+	"skewjoin/internal/sanitize"
 )
 
 // ScatterMode selects the partition scatter strategy.
@@ -117,6 +118,8 @@ func newWCBuf(fanout int) *wcBuf {
 // per-partition cursors cur (absolute indexes into out). div, if non-nil,
 // is consulted with the absolute source index; diverted tuples are handed
 // to div.Handle (worker id w) instead of being scattered.
+//
+//skewlint:hotpath
 func scatterDirect(out, src []relation.Tuple, lo, hi int, cur []int, shift, bits uint32, div *Diverter, w int) {
 	for i := lo; i < hi; i++ {
 		t := src[i]
@@ -129,8 +132,25 @@ func scatterDirect(out, src []relation.Tuple, lo, hi int, cur []int, shift, bits
 			}
 		}
 		p := hashfn.Radix(t.Key, shift, bits)
+		if sanitize.Enabled {
+			checkScatter(int(p), len(cur), cur, len(out))
+		}
 		out[cur[p]] = t
 		cur[p]++
+	}
+}
+
+// checkScatter validates one scatter write: the partition index must be
+// inside the pass fanout and the partition's cursor inside the output
+// array. Either violation means a histogram/prefix-sum mismatch is about
+// to corrupt a neighbouring partition's region.
+func checkScatter(p, fanout int, cur []int, outLen int) {
+	if p < 0 || p >= fanout {
+		sanitize.Failf("radix: scatter partition %d outside pass fanout %d", p, fanout)
+	}
+	if cur[p] < 0 || cur[p] >= outLen {
+		sanitize.Failf("radix: scatter cursor %d for partition %d outside output of %d tuples (region overrun)",
+			cur[p], p, outLen)
 	}
 }
 
@@ -140,6 +160,8 @@ func scatterDirect(out, src []relation.Tuple, lo, hi int, cur []int, shift, bits
 // Within each partition tuples still land in src scan order, making the
 // output bit-for-bit identical to scatterDirect's. buf.fill is left zeroed
 // for reuse.
+//
+//skewlint:hotpath
 func scatterWC(out, src []relation.Tuple, lo, hi int, cur []int, shift, bits uint32, div *Diverter, w int, buf *wcBuf) {
 	runs, fill := buf.runs, buf.fill
 	for i := lo; i < hi; i++ {
@@ -153,6 +175,9 @@ func scatterWC(out, src []relation.Tuple, lo, hi int, cur []int, shift, bits uin
 			}
 		}
 		p := int(hashfn.Radix(t.Key, shift, bits))
+		if sanitize.Enabled {
+			checkScatter(p, len(cur), cur, len(out))
+		}
 		n := int(fill[p])
 		runs[p*wcTuples+n] = t
 		n++

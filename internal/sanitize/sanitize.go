@@ -1,0 +1,29 @@
+//go:build sanitize
+
+// Package sanitize provides build-tag-gated runtime invariant checks for
+// the join engine's hot data structures: chain-cycle detection in the
+// chained hash tables, partition-fanout and scatter-cursor bounds checks
+// in the radix partitioner, and ring-geometry checks in the output
+// buffers.
+//
+// Without the `sanitize` build tag, Enabled is a false constant and every
+// check sits behind `if sanitize.Enabled { ... }`, so the compiler
+// eliminates the checks entirely — the normal build pays nothing. With
+// `-tags sanitize` (see `make test-sanitize`) the checks compile in and a
+// violated invariant aborts the run with a diagnostic panic instead of
+// corrupting output or looping forever.
+package sanitize
+
+import "fmt"
+
+// Enabled reports whether the sanitize build tag is active. It is a
+// constant so that unsanitized builds dead-code-eliminate the checks.
+const Enabled = true
+
+// Failf reports a violated invariant and aborts via panic. The panic is
+// deliberate: a broken structural invariant means in-memory state is
+// already corrupt, and continuing would turn a loud failure into silent
+// wrong answers.
+func Failf(format string, args ...any) {
+	panic("sanitize: " + fmt.Sprintf(format, args...))
+}

@@ -25,15 +25,15 @@ type Admission struct {
 	maxQueue int
 
 	mu       sync.Mutex
-	inUse    int
-	inFlight int
-	waiters  []*waiter
+	inUse    int       //skewlint:guarded-by mu
+	inFlight int       //skewlint:guarded-by mu
+	waiters  []*waiter //skewlint:guarded-by mu
 
-	submitted       uint64
-	admitted        uint64
-	rejectedFull    uint64
-	rejectedTimeout uint64
-	completed       uint64
+	submitted       uint64 //skewlint:guarded-by mu
+	admitted        uint64 //skewlint:guarded-by mu
+	rejectedFull    uint64 //skewlint:guarded-by mu
+	rejectedTimeout uint64 //skewlint:guarded-by mu
+	completed       uint64 //skewlint:guarded-by mu
 }
 
 type waiter struct {
@@ -81,7 +81,7 @@ func (a *Admission) Acquire(ctx context.Context, weight int) (release func(), er
 	a.submitted++
 	// Fast path: idle capacity and nobody queued ahead of us.
 	if len(a.waiters) == 0 && a.inUse+weight <= a.budget {
-		a.grantLockedDirect(weight)
+		a.grantDirectLocked(weight)
 		a.mu.Unlock()
 		return a.releaseFunc(weight), nil
 	}
@@ -127,8 +127,8 @@ func (a *Admission) Acquire(ctx context.Context, weight int) (release func(), er
 	}
 }
 
-// grantLockedDirect admits the caller without queueing.
-func (a *Admission) grantLockedDirect(weight int) {
+// grantDirectLocked admits the caller without queueing.
+func (a *Admission) grantDirectLocked(weight int) {
 	a.inUse += weight
 	a.inFlight++
 	a.admitted++
@@ -142,7 +142,7 @@ func (a *Admission) grantWaitersLocked() {
 			return
 		}
 		a.waiters = a.waiters[1:]
-		a.grantLockedDirect(w.weight)
+		a.grantDirectLocked(w.weight)
 		close(w.ready)
 	}
 }

@@ -45,8 +45,8 @@ func (e *Entry) Info() RelationInfo {
 // every join algorithm treats its inputs as read-only.
 type Catalog struct {
 	mu      sync.RWMutex
-	entries map[string]*Entry
-	now     func() time.Time // injectable for tests
+	entries map[string]*Entry //skewlint:guarded-by mu
+	now     func() time.Time  // injectable for tests
 }
 
 // NewCatalog returns an empty catalog.

@@ -78,14 +78,14 @@ func (h *latencyHist) snapshot() AlgorithmStats {
 // throughput concern.
 type algRecorder struct {
 	mu    sync.Mutex
-	hists map[string]*latencyHist
+	hists map[string]*latencyHist //skewlint:guarded-by mu
 }
 
 func newAlgRecorder() *algRecorder {
 	return &algRecorder{hists: make(map[string]*latencyHist)}
 }
 
-func (r *algRecorder) hist(alg string) *latencyHist {
+func (r *algRecorder) histLocked(alg string) *latencyHist {
 	h, ok := r.hists[alg]
 	if !ok {
 		h = newLatencyHist()
@@ -96,13 +96,13 @@ func (r *algRecorder) hist(alg string) *latencyHist {
 
 func (r *algRecorder) observe(alg string, d time.Duration) {
 	r.mu.Lock()
-	r.hist(alg).observe(d)
+	r.histLocked(alg).observe(d)
 	r.mu.Unlock()
 }
 
 func (r *algRecorder) observeError(alg string) {
 	r.mu.Lock()
-	r.hist(alg).errs++
+	r.histLocked(alg).errs++
 	r.mu.Unlock()
 }
 

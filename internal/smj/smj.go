@@ -13,6 +13,7 @@
 package smj
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -30,6 +31,10 @@ type Config struct {
 	// Flush optionally installs a per-worker batch consumer on the output
 	// buffers.
 	Flush func(worker int) outbuf.FlushFunc
+	// Ctx optionally cancels the run (nil = never). Cancellation is
+	// checked at phase boundaries: a cancelled run stops before the next
+	// phase and returns with Result.Canceled set.
+	Ctx context.Context
 }
 
 // Defaults fills zero fields.
@@ -51,6 +56,9 @@ type Result struct {
 	Summary outbuf.Summary
 	Phases  []exec.Phase // "sort", "merge"
 	Stats   Stats
+	// Canceled reports that Config.Ctx fired before the run completed;
+	// the partial Summary and Stats must be discarded.
+	Canceled bool
 }
 
 // Total returns the end-to-end time of the run.
@@ -67,12 +75,21 @@ func Join(r, s relation.Relation, cfg Config) Result {
 	cfg = cfg.Defaults()
 	var res Result
 	var timer exec.PhaseTimer
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		return res
+	}
 
 	var sr, ss []relation.Tuple
 	timer.Time("sort", func() {
 		sr = SortByKey(r.Tuples, cfg.Threads)
 		ss = SortByKey(s.Tuples, cfg.Threads)
 	})
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		res.Canceled = true
+		res.Phases = timer.Phases()
+		return res
+	}
 
 	bufs := make([]*outbuf.Buffer, cfg.Threads)
 	for w := range bufs {

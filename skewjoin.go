@@ -243,9 +243,10 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 	case CbaseNPJ:
 		res := npj.Join(r, s, npj.Config{
 			Threads: opts.Threads, OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			Ctx: ctx,
 		})
-		if err := ctxErr(ctx); err != nil {
-			return Result{}, err
+		if res.Canceled {
+			return Result{}, ctx.Err()
 		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case CSH:
@@ -277,9 +278,10 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 	case SMJ:
 		res := smj.Join(r, s, smj.Config{
 			Threads: opts.Threads, OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			Ctx: ctx,
 		})
-		if err := ctxErr(ctx); err != nil {
-			return Result{}, err
+		if res.Canceled {
+			return Result{}, ctx.Err()
 		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case GSMJ:
