@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition experiments examples serve-smoke clean
+.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -48,6 +48,11 @@ bench-smoke:
 # machine-readable perf baseline committed as BENCH_partition.json.
 bench-partition:
 	$(GO) run ./cmd/skewbench -exp partition -repeats 7 -out BENCH_partition.json
+
+# Join-path A/B sweep (probe mode x table layout x skew); writes the
+# machine-readable perf baseline committed as BENCH_join.json.
+bench-join:
+	$(GO) run ./cmd/skewbench -exp join -repeats 7 -out BENCH_join.json
 
 # Regenerate every table and figure of the paper (plus extensions).
 experiments:

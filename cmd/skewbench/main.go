@@ -2,14 +2,15 @@
 // Figures 4a/4b, Table I, the scale-up experiment and the headline speedup
 // summary — plus this repository's extension experiments: the §III skew
 // analysis, one-sided S skew (sskew), sort-vs-hash (sortvshash), per-join
-// memory footprints (memory) and the partition-path A/B sweep (partition;
-// excluded from "all" — run it explicitly, typically via make
-// bench-partition, which writes BENCH_partition.json).
+// memory footprints (memory) and the A/B sweeps of the two hot-path
+// overhauls (partition and join; excluded from "all" — run them explicitly,
+// typically via make bench-partition / make bench-join, which write
+// BENCH_partition.json / BENCH_join.json).
 //
 // Usage:
 //
 //	skewbench [-exp fig1|fig4a|fig4b|table1|speedup|large|
-//	                analysis|sskew|sortvshash|memory|partition|all]
+//	                analysis|sskew|sortvshash|memory|partition|join|all]
 //	          [-n tuples] [-threads k] [-seed s] [-zipf list] [-shm KiB]
 //	          [-json] [-plot] [-out file.json]
 //
@@ -45,7 +46,7 @@ type plotter interface {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, or all")
+		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, or all")
 		tuples  = flag.Int("n", 0, "tuples per input table (default $SKEWJOIN_TUPLES or 262144)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
 		seed    = flag.Int64("seed", 42, "workload seed")
@@ -54,7 +55,7 @@ func main() {
 		shmKB   = flag.Int("shm", 0, "simulated GPU shared memory per block, KiB (default 64 = A100-like); shrink to match the paper's skew-to-capacity ratio at small table sizes")
 		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 		plot    = flag.Bool("plot", false, "also render figure reports as log-scale ASCII charts")
-		outFile = flag.String("out", "", "also write the partition report as JSON to this file (e.g. BENCH_partition.json; -exp partition only)")
+		outFile = flag.String("out", "", "also write the report as JSON to this file (e.g. BENCH_partition.json; single -exp runs only)")
 	)
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 			os.Exit(1)
 		}
 		failed = failed || errs
-		if name == "partition" && *outFile != "" {
+		if *outFile != "" && *exp != "all" {
 			if err := writeJSON(*outFile, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "skewbench:", err)
 				os.Exit(1)
@@ -151,6 +152,9 @@ func run(name string, cfg bench.Config) (printer, bool, error) {
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	case "partition":
 		rep, err := bench.PartitionBench(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "join":
+		rep, err := bench.JoinBench(cfg)
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	default:
 		return nil, false, fmt.Errorf("unknown experiment %q", name)

@@ -79,3 +79,46 @@ func TestGoldenAcrossPartitionVariants(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenAcrossJoinVariants is the same contract for the join-phase
+// overhaul: the grouped probe and the compact bucket-array layout must land
+// exactly on the golden output in every combination, for both CPU hash
+// joins and the no-partition baseline (which only has the probe knob).
+func TestGoldenAcrossJoinVariants(t *testing.T) {
+	const (
+		n     = 10000
+		theta = 0.7
+		seed  = int64(42)
+	)
+	const wantMatches, wantChecksum = 131133, uint64(0xaf5fc23ac7065323)
+	r, s, err := GenerateZipfPair(n, theta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []ProbeMode{ProbeScalar, ProbeGrouped} {
+		for _, layout := range []Layout{LayoutChained, LayoutCompact} {
+			for _, alg := range []Algorithm{Cbase, CSH} {
+				name := fmt.Sprintf("%s/probe=%s/layout=%s", alg, probe, layout)
+				res, err := Join(alg, r, s, &Options{Threads: 2, Probe: probe, Layout: layout})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Matches != wantMatches || res.Checksum != wantChecksum {
+					t.Errorf("%s: got (%d, %#x), want (%d, %#x)",
+						name, res.Matches, res.Checksum, wantMatches, wantChecksum)
+				}
+				if res.JoinPhase == nil || res.JoinPhase.ProbeVisits == 0 {
+					t.Errorf("%s: join-phase stats missing or empty: %+v", name, res.JoinPhase)
+				}
+			}
+		}
+		res, err := Join(CbaseNPJ, r, s, &Options{Threads: 2, Probe: probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != wantMatches || res.Checksum != wantChecksum {
+			t.Errorf("cbase-npj/probe=%s: got (%d, %#x), want (%d, %#x)",
+				probe, res.Matches, res.Checksum, wantMatches, wantChecksum)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Join-phase A/B benchmark: the machine-readable perf baseline for the
+// join hot-path overhaul (grouped probing, arena-reused build tables, the
+// compact bucket-array layout). cmd/skewbench -exp join runs it and can
+// write the result as BENCH_join.json, the artifact future PRs compare
+// against.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"skewjoin/internal/cbase"
+	"skewjoin/internal/chainedtable"
+	"skewjoin/internal/csh"
+	"skewjoin/internal/exec"
+	"skewjoin/internal/joinphase"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/radix"
+)
+
+// JoinVariant is one measured combination of join-phase knobs.
+type JoinVariant struct {
+	Name   string                 `json:"name"`
+	Probe  chainedtable.ProbeMode `json:"-"`
+	Layout chainedtable.Layout    `json:"-"`
+}
+
+// probeLayoutVariants is the full probe x layout matrix, plus a control row
+// re-measuring the seed configuration under a second name: the seed/control
+// spread is an A/A measurement of the harness noise floor, the yardstick
+// against which the other deltas must be read.
+var probeLayoutVariants = []JoinVariant{
+	{Name: "seed(scalar+chained)", Probe: chainedtable.ProbeScalar, Layout: chainedtable.LayoutChained},
+	{Name: "grouped+chained", Probe: chainedtable.ProbeGrouped, Layout: chainedtable.LayoutChained},
+	{Name: "scalar+compact", Probe: chainedtable.ProbeScalar, Layout: chainedtable.LayoutCompact},
+	{Name: "grouped+compact", Probe: chainedtable.ProbeGrouped, Layout: chainedtable.LayoutCompact},
+	{Name: "control(scalar+chained)", Probe: chainedtable.ProbeScalar, Layout: chainedtable.LayoutChained},
+}
+
+// JoinCell is one measured configuration for an algorithm/zipf/variant
+// triple. Phases holds each phase's minimum across the repeat runs (for the
+// join rows that includes the build/probe CPU-time split, summed across
+// workers) and TotalNS the minimum single-run total; as in the partition
+// report, per-phase minima need not sum to TotalNS.
+type JoinCell struct {
+	Algo    string           `json:"algo"`
+	Zipf    float64          `json:"zipf"`
+	Variant string           `json:"variant"`
+	Phases  map[string]int64 `json:"phases_ns"`
+	TotalNS int64            `json:"total_ns"`
+	// Tasks and ProbeVisits are work counters of the join phase; identical
+	// across variants of one (algo, zipf) cell by construction.
+	Tasks       int    `json:"tasks,omitempty"`
+	ProbeVisits uint64 `json:"probe_visits,omitempty"`
+	// AllocsPerTask is the minimum heap allocations per join task across
+	// runs (raw joinphase rows only) — the arena-reuse acceptance metric:
+	// per-worker scratch growth amortised over tasks, well below one.
+	AllocsPerTask float64 `json:"allocs_per_task,omitempty"`
+}
+
+// JoinReport is the full join benchmark: the committed BENCH_join.json is
+// exactly this structure.
+type JoinReport struct {
+	Tuples   int               `json:"tuples"`
+	Threads  int               `json:"threads"`
+	Seed     int64             `json:"seed"`
+	Repeats  int               `json:"repeats"`
+	Zipfs    []float64         `json:"zipfs"`
+	Defaults map[string]string `json:"defaults"`
+	Cells    []JoinCell        `json:"cells"`
+	Errors   []string          `json:"errors,omitempty"`
+}
+
+// joinZipfs is the default skew sweep: a uniform anchor plus the paper's
+// medium-to-high skew points.
+var joinZipfs = []float64{0.0, 0.5, 0.8, 1.0}
+
+// JoinBench measures the join-phase variants. Zipf factors come from
+// cfg.Zipfs when the caller overrode them (len != the full default sweep),
+// otherwise the default join sweep is used.
+func JoinBench(cfg Config) (*JoinReport, error) {
+	zipfs := joinZipfs
+	if len(cfg.Zipfs) > 0 && len(cfg.Zipfs) != 11 {
+		// An explicit -zipf list (the full 11-point default means "unset").
+		zipfs = cfg.Zipfs
+	}
+	cfg = cfg.Defaults()
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = exec.DefaultThreads()
+	}
+	rep := &JoinReport{
+		Tuples:  cfg.Tuples,
+		Threads: threads,
+		Seed:    cfg.Seed,
+		Repeats: cfg.Repeats,
+		Zipfs:   zipfs,
+		Defaults: map[string]string{
+			"probe":  chainedtable.ProbeScalar.String(),
+			"layout": chainedtable.LayoutChained.String(),
+		},
+	}
+
+	for _, z := range zipfs {
+		w, err := MakeWorkload(cfg.Tuples, z, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+
+		// Raw join phase: partition once with Cbase's default bit split,
+		// then drive joinphase.Run directly per variant so the numbers
+		// isolate build+probe from partitioning. One untimed warm-up, then
+		// the variants interleaved across repeat rounds (rotating the start
+		// position) so heap growth and host noise spread evenly instead of
+		// penalising whichever variant runs last.
+		rcfg := radix.Config{Threads: threads, Bits1: 6, Bits2: 5}
+		pr := radix.Partition(w.R.Tuples, rcfg, nil)
+		ps := radix.Partition(w.S.Tuples, rcfg, nil)
+		runRaw := func(v JoinVariant) (joinphase.Stats, outbuf.Summary, time.Duration, uint64) {
+			bufs := make([]*outbuf.Buffer, threads)
+			for i := range bufs {
+				bufs[i] = outbuf.New(0)
+			}
+			jcfg := joinphase.Config{
+				Threads: threads, SkewFactor: 4,
+				Probe: v.Probe, Layout: v.Layout,
+			}
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			st := joinphase.Run(pr, ps, jcfg, bufs)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			return st, outbuf.Summarize(bufs), wall, m1.Mallocs - m0.Mallocs
+		}
+		cells := make([]JoinCell, len(probeLayoutVariants))
+		for vi, v := range probeLayoutVariants {
+			cells[vi] = JoinCell{Algo: "joinphase", Zipf: z, Variant: v.Name}
+		}
+		runRaw(probeLayoutVariants[0]) // warm-up, discarded
+		for it := 0; it < cfg.Repeats; it++ {
+			for k := range probeLayoutVariants {
+				vi := (it + k) % len(probeLayoutVariants)
+				st, sum, wall, allocs := runRaw(probeLayoutVariants[vi])
+				if sum != w.Expected {
+					rep.Errors = append(rep.Errors, fmt.Sprintf(
+						"joinphase %s @ zipf %.1f: output mismatch", probeLayoutVariants[vi].Name, z))
+					continue
+				}
+				c := &cells[vi]
+				c.Tasks = st.Tasks
+				c.ProbeVisits = st.ProbeVisits
+				apt := float64(allocs) / float64(st.Tasks)
+				if c.Phases == nil || apt < c.AllocsPerTask {
+					c.AllocsPerTask = apt
+				}
+				takeMinJoin(c, map[string]int64{
+					"join":       wall.Nanoseconds(),
+					"join.build": st.BuildNs,
+					"join.probe": st.ProbeNs,
+				}, wall.Nanoseconds())
+			}
+		}
+		rep.Cells = append(rep.Cells, cells...)
+
+		// End-to-end joins: the knobs through the full Cbase and CSH
+		// pipelines, per-phase breakdown of the fastest of Repeats runs,
+		// verified against the oracle every run.
+		runJoin := func(algo string, v JoinVariant) ([]exec.Phase, joinphase.Stats, bool) {
+			switch algo {
+			case "cbase":
+				res := cbase.Join(w.R, w.S, cbase.Config{
+					Threads: cfg.Threads, Probe: v.Probe, Layout: v.Layout,
+				})
+				return res.Phases, res.Stats.Join, res.Summary == w.Expected
+			default:
+				res := csh.Join(w.R, w.S, csh.Config{
+					Threads: cfg.Threads, Probe: v.Probe, Layout: v.Layout,
+				})
+				return res.Phases, res.Stats.NM, res.Summary == w.Expected
+			}
+		}
+		for _, algo := range []string{"cbase", "csh"} {
+			cells := make([]JoinCell, len(probeLayoutVariants))
+			for vi, v := range probeLayoutVariants {
+				cells[vi] = JoinCell{Algo: algo, Zipf: z, Variant: v.Name}
+			}
+			runJoin(algo, probeLayoutVariants[0]) // warm-up, discarded
+			for it := 0; it < cfg.Repeats; it++ {
+				for k := range probeLayoutVariants {
+					vi := (it + k) % len(probeLayoutVariants)
+					v := probeLayoutVariants[vi]
+					runtime.GC()
+					phases, st, ok := runJoin(algo, v)
+					if !ok {
+						rep.Errors = append(rep.Errors, fmt.Sprintf(
+							"%s %s @ zipf %.1f: output mismatch", algo, v.Name, z))
+						continue
+					}
+					var total int64
+					m := make(map[string]int64, len(phases)+2)
+					for _, p := range phases {
+						m[p.Name] += p.Duration.Nanoseconds()
+						total += p.Duration.Nanoseconds()
+					}
+					m["join.build"] = st.BuildNs
+					m["join.probe"] = st.ProbeNs
+					c := &cells[vi]
+					c.Tasks = st.Tasks
+					c.ProbeVisits = st.ProbeVisits
+					takeMinJoin(c, m, total)
+				}
+			}
+			rep.Cells = append(rep.Cells, cells...)
+		}
+	}
+	return rep, nil
+}
+
+// takeMinJoin folds one run's phase map into the cell, keeping each phase's
+// minimum across runs and the minimum single-run total (same robustness
+// rationale as the partition report's takeMin).
+func takeMinJoin(cell *JoinCell, phases map[string]int64, total int64) {
+	if cell.Phases == nil {
+		cell.Phases = phases
+		cell.TotalNS = total
+		return
+	}
+	for name, ns := range phases {
+		if prev, ok := cell.Phases[name]; !ok || ns < prev {
+			cell.Phases[name] = ns
+		}
+	}
+	if total < cell.TotalNS {
+		cell.TotalNS = total
+	}
+}
+
+// Fprint renders the report as aligned text: one block per zipf factor, one
+// line per algo/variant with the build/probe split and work counters.
+func (rep *JoinReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== Join-path A/B benchmark (n=%d, threads=%d, best of %d) ==\n",
+		rep.Tuples, rep.Threads, rep.Repeats)
+	fmt.Fprintf(w, "defaults: probe=%s layout=%s\n", rep.Defaults["probe"], rep.Defaults["layout"])
+	for _, z := range rep.Zipfs {
+		fmt.Fprintf(w, "-- zipf %.1f --\n", z)
+		for _, c := range rep.Cells {
+			if c.Zipf != z {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %-26s", c.Algo, c.Variant)
+			if b, ok := c.Phases["join.build"]; ok {
+				fmt.Fprintf(w, "  build %10s", FormatDuration(time.Duration(b)))
+			}
+			if p, ok := c.Phases["join.probe"]; ok {
+				fmt.Fprintf(w, "  probe %10s", FormatDuration(time.Duration(p)))
+			}
+			fmt.Fprintf(w, "  total %10s", FormatDuration(time.Duration(c.TotalNS)))
+			if c.Algo == "joinphase" {
+				fmt.Fprintf(w, "  visits %11d  allocs/task %6.3f", c.ProbeVisits, c.AllocsPerTask)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(w, "VERIFICATION FAILED: %s\n", e)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,58 @@
+package cbase
+
+import (
+	"fmt"
+	"testing"
+
+	"skewjoin/internal/chainedtable"
+	"skewjoin/internal/oracle"
+)
+
+// TestProbeLayoutKnobsOutputInvariant sweeps the join-phase A/B knobs end
+// to end: every (Probe × Layout) combination must reproduce the oracle
+// summary on uniform and fully skewed inputs.
+func TestProbeLayoutKnobsOutputInvariant(t *testing.T) {
+	for _, theta := range []float64{0, 1.0} {
+		r, s := workload(t, 15000, theta, 21)
+		want := oracle.Expected(r, s)
+		for _, probe := range []chainedtable.ProbeMode{chainedtable.ProbeScalar, chainedtable.ProbeGrouped} {
+			for _, layout := range []chainedtable.Layout{chainedtable.LayoutChained, chainedtable.LayoutCompact} {
+				cfg := Config{Threads: 4, Probe: probe, Layout: layout}
+				res := Join(r, s, cfg)
+				name := fmt.Sprintf("theta=%g/%s/%s", theta, probe, layout)
+				if res.Summary != want {
+					t.Errorf("%s: got %+v, want %+v", name, res.Summary, want)
+				}
+				if res.Stats.Join.ProbeVisits == 0 {
+					t.Errorf("%s: zero probe visits", name)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinTimingSplit checks the BuildNs/ProbeNs plumbing from the join
+// phase into Stats: both positive, and their sum bounded by the thread
+// count times the recorded join-phase wall clock.
+func TestJoinTimingSplit(t *testing.T) {
+	const threads = 3
+	r, s := workload(t, 30000, 0.8, 23)
+	res := Join(r, s, Config{Threads: threads})
+	st := res.Stats.Join
+	if st.BuildNs <= 0 || st.ProbeNs <= 0 {
+		t.Fatalf("BuildNs=%d ProbeNs=%d, want both positive", st.BuildNs, st.ProbeNs)
+	}
+	var joinWall int64
+	for _, p := range res.Phases {
+		if p.Name == "join" {
+			joinWall = p.Duration.Nanoseconds()
+		}
+	}
+	if joinWall == 0 {
+		t.Fatal("no join phase recorded")
+	}
+	if budget := threads*joinWall + int64(1e6); st.BuildNs+st.ProbeNs > budget {
+		t.Errorf("BuildNs+ProbeNs = %d exceeds %d (threads × join wall + grain)",
+			st.BuildNs+st.ProbeNs, budget)
+	}
+}

@@ -15,6 +15,18 @@
 //     GSH/Gbase NM-join blocks build one per task), and
 //   - Concurrent: a latch-free shared table built by many threads with CAS
 //     head insertion (cbase-npj builds one over the whole of R).
+//
+// Beyond the faithful baseline, the package carries the join-phase hot-path
+// machinery the CPU joins A/B-test against it:
+//
+//   - grouped probing (ProbeGroup): S tuples are probed in fixed-size
+//     groups whose chain walks advance in lock-step, so the dependent loads
+//     of different probes overlap instead of serialising (the AMAC /
+//     software-pipelining idea);
+//   - a compact bucket-array layout (CompactTable, see compact.go) that
+//     stores each bucket contiguously for sequential probe scans; and
+//   - an Arena (see arena.go) that recycles build scratch across the
+//     thousands of per-task builds of a join phase.
 package chainedtable
 
 import (
@@ -44,25 +56,54 @@ type Table struct {
 //
 //skewlint:hotpath
 func Build(tuples []relation.Tuple) *Table {
-	nb := hashfn.NextPow2(len(tuples))
-	if nb < 2 {
-		nb = 2
+	t := &Table{}
+	t.rebuild(tuples, nil, nil)
+	return t
+}
+
+// bucketCount returns the bucket count for n tuples: the next power of two,
+// clamped below at one. The seed forced a 2-bucket minimum, which made the
+// head-clear loop and bucket hashing pure overhead on the 1-tuple
+// partitions that dominate high-fanout task counts; a single bucket (shift
+// 32, so every key maps to bucket 0) serves those exactly as well.
+func bucketCount(n int) int {
+	nb := hashfn.NextPow2(n)
+	if nb < 1 {
+		nb = 1
 	}
-	t := &Table{
-		shift:  32 - hashfn.Log2(nb),
-		heads:  make([]int32, nb),
-		next:   make([]int32, len(tuples)),
-		tuples: tuples,
+	return nb
+}
+
+// rebuild (re)initialises t over tuples, reusing the supplied heads/next
+// scratch when it has capacity and allocating otherwise. Build passes nil
+// scratch; Arena passes the previous build's slices so the steady-state
+// join phase allocates nothing.
+//
+//skewlint:hotpath
+func (t *Table) rebuild(tuples []relation.Tuple, heads, next []int32) {
+	nb := bucketCount(len(tuples))
+	if cap(heads) >= nb {
+		heads = heads[:nb]
+	} else {
+		heads = make([]int32, nb)
 	}
-	for b := range t.heads {
-		t.heads[b] = -1
+	if cap(next) >= len(tuples) {
+		next = next[:len(tuples)]
+	} else {
+		next = make([]int32, len(tuples))
+	}
+	t.shift = 32 - hashfn.Log2(nb)
+	t.heads = heads
+	t.next = next
+	t.tuples = tuples
+	for b := range heads {
+		heads[b] = -1
 	}
 	for i, tp := range tuples {
 		b := hashfn.Mix32(uint32(tp.Key)) >> t.shift
-		t.next[i] = t.heads[b]
-		t.heads[b] = int32(i)
+		next[i] = heads[b]
+		heads[b] = int32(i)
 	}
-	return t
 }
 
 // Probe walks the chain of k's bucket, invoking fn for every tuple whose
@@ -81,6 +122,71 @@ func (t *Table) Probe(k relation.Key, fn func(pr relation.Payload)) int {
 		if t.tuples[i].Key == k {
 			fn(t.tuples[i].Payload)
 		}
+	}
+	return visited
+}
+
+// ProbeGroup probes every S tuple in ts, invoking fn(i, payload) for each
+// match of ts[i], and returns the total chain nodes visited. Tuples are
+// processed in groups of GroupSize: each group's bucket heads are loaded
+// up front, then all in-flight chain walks advance one node per round in
+// lock-step, with finished lanes compacted out. The dependent loads of up
+// to GroupSize chains are therefore in flight together instead of one
+// probe serialising behind the previous one — the gain grows with chain
+// length, exactly the regime skew produces.
+//
+// Matches are emitted in round order (interleaved across the group), not
+// in S order; the match multiset per S tuple is identical to scalar
+// probing, which is what the order-independent output summaries consume.
+//
+//skewlint:hotpath
+func (t *Table) ProbeGroup(ts []relation.Tuple, fn func(i int, pr relation.Payload)) int {
+	visited := 0
+	for lo := 0; lo < len(ts); lo += GroupSize {
+		hi := lo + GroupSize
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		visited += t.probeGroup(ts[lo:hi], lo, fn)
+	}
+	return visited
+}
+
+// probeGroup advances one group (len(ts) <= GroupSize) in lock-step; base
+// is the group's offset within the caller's S slice, added to the lane
+// index fn receives.
+//
+//skewlint:hotpath
+func (t *Table) probeGroup(ts []relation.Tuple, base int, fn func(i int, pr relation.Payload)) int {
+	var cur, slot [GroupSize]int32
+	m := 0
+	for j := range ts {
+		if h := t.heads[hashfn.Mix32(uint32(ts[j].Key))>>t.shift]; h >= 0 {
+			cur[m], slot[m] = h, int32(j)
+			m++
+		}
+	}
+	visited := 0
+	rounds := 0
+	for m > 0 {
+		rounds++
+		if sanitize.Enabled && rounds > len(t.tuples) {
+			sanitize.Failf("chainedtable: cycle in bucket chain during grouped probe (round %d, table holds %d tuples)",
+				rounds, len(t.tuples))
+		}
+		k := 0
+		for l := 0; l < m; l++ {
+			i, j := cur[l], slot[l]
+			visited++
+			if t.tuples[i].Key == ts[j].Key {
+				fn(base+int(j), t.tuples[i].Payload)
+			}
+			if nx := t.next[i]; nx >= 0 {
+				cur[k], slot[k] = nx, j
+				k++
+			}
+		}
+		m = k
 	}
 	return visited
 }
@@ -146,10 +252,7 @@ type Concurrent struct {
 // slice. Tuples are inserted afterwards via Insert, typically from many
 // threads over disjoint index ranges.
 func NewConcurrent(tuples []relation.Tuple) *Concurrent {
-	nb := hashfn.NextPow2(len(tuples))
-	if nb < 2 {
-		nb = 2
-	}
+	nb := bucketCount(len(tuples))
 	c := &Concurrent{
 		shift:  32 - hashfn.Log2(nb),
 		heads:  make([]atomic.Int32, nb),
@@ -192,6 +295,59 @@ func (c *Concurrent) Probe(k relation.Key, fn func(pr relation.Payload)) int {
 		if c.tuples[i].Key == k {
 			fn(c.tuples[i].Payload)
 		}
+	}
+	return visited
+}
+
+// ProbeGroup is Table.ProbeGroup for the shared table: S tuples are probed
+// in lock-stepped groups of GroupSize. It must not run concurrently with
+// Insert; the head loads still go through the atomics so the race detector
+// sees the build/probe ordering.
+//
+//skewlint:hotpath
+func (c *Concurrent) ProbeGroup(ts []relation.Tuple, fn func(i int, pr relation.Payload)) int {
+	visited := 0
+	for lo := 0; lo < len(ts); lo += GroupSize {
+		hi := lo + GroupSize
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		visited += c.probeGroup(ts[lo:hi], lo, fn)
+	}
+	return visited
+}
+
+//skewlint:hotpath
+func (c *Concurrent) probeGroup(ts []relation.Tuple, base int, fn func(i int, pr relation.Payload)) int {
+	var cur, slot [GroupSize]int32
+	m := 0
+	for j := range ts {
+		if h := c.heads[hashfn.Mix32(uint32(ts[j].Key))>>c.shift].Load(); h >= 0 {
+			cur[m], slot[m] = h, int32(j)
+			m++
+		}
+	}
+	visited := 0
+	rounds := 0
+	for m > 0 {
+		rounds++
+		if sanitize.Enabled && rounds > len(c.tuples) {
+			sanitize.Failf("chainedtable: cycle in bucket chain during grouped probe (round %d, table holds %d tuples)",
+				rounds, len(c.tuples))
+		}
+		k := 0
+		for l := 0; l < m; l++ {
+			i, j := cur[l], slot[l]
+			visited++
+			if c.tuples[i].Key == ts[j].Key {
+				fn(base+int(j), c.tuples[i].Payload)
+			}
+			if nx := c.next[i]; nx >= 0 {
+				cur[k], slot[k] = nx, j
+				k++
+			}
+		}
+		m = k
 	}
 	return visited
 }

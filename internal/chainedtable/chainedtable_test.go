@@ -106,14 +106,44 @@ func TestUniformKeysShortChains(t *testing.T) {
 }
 
 func TestBucketsPowerOfTwo(t *testing.T) {
+	// The bucket count is the next power of two >= n, clamped below at 1:
+	// tiny partitions (the bulk of high-fanout task counts) must not pay
+	// for buckets they cannot fill.
+	wantBuckets := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 100: 128, 4096: 4096}
 	for _, n := range []int{0, 1, 2, 3, 100, 4096} {
 		table := Build(randomTuples(n, 10, 4))
 		b := table.Buckets()
-		if b&(b-1) != 0 || b < 2 {
+		if b&(b-1) != 0 || b < 1 {
 			t.Errorf("n=%d: buckets = %d", n, b)
+		}
+		if b != wantBuckets[n] {
+			t.Errorf("n=%d: buckets = %d, want %d", n, b, wantBuckets[n])
 		}
 		if table.Len() != n {
 			t.Errorf("n=%d: Len = %d", n, table.Len())
+		}
+		if cb := BuildCompact(randomTuples(n, 10, 4)); cb.Buckets() != b {
+			t.Errorf("n=%d: compact buckets = %d, chained %d", n, cb.Buckets(), b)
+		}
+	}
+}
+
+func TestSingleBucketTableProbes(t *testing.T) {
+	// A 1-tuple partition gets a single bucket (shift 32 → every key maps
+	// to bucket 0); probing must still find the tuple and reject others.
+	for _, build := range []func([]relation.Tuple) HashTable{
+		func(ts []relation.Tuple) HashTable { return Build(ts) },
+		func(ts []relation.Tuple) HashTable { return BuildCompact(ts) },
+	} {
+		table := build([]relation.Tuple{{Key: 42, Payload: 7}})
+		if table.Buckets() != 1 {
+			t.Fatalf("buckets = %d, want 1", table.Buckets())
+		}
+		if got := probeAll(table.Probe, 42); len(got) != 1 || got[0] != 7 {
+			t.Errorf("probe(42) = %v", got)
+		}
+		if got := probeAll(table.Probe, 43); len(got) != 0 {
+			t.Errorf("probe(43) matched %d tuples", len(got))
 		}
 	}
 }

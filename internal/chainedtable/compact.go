@@ -1,0 +1,169 @@
+package chainedtable
+
+import (
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/sanitize"
+)
+
+// CompactTable is the bucket-array alternative to the index-linked Table:
+// every bucket's entries are stored contiguously in one tuple array, with
+// starts[b] marking where bucket b begins (starts has len buckets+1, so
+// bucket b occupies entries[starts[b]:starts[b+1]]). Building costs one
+// extra counting pass over the tuples; probing replaces the chained walk's
+// dependent load per node with a sequential scan of one cache-resident run —
+// the chained-vs-array tension of the paper made selectable (LayoutCompact).
+type CompactTable struct {
+	shift   uint32
+	starts  []int32
+	entries []relation.Tuple
+}
+
+// BuildCompact constructs a compact table over tuples with the same bucket
+// count Build would use. The tuple slice is only read, not retained.
+//
+//skewlint:hotpath
+func BuildCompact(tuples []relation.Tuple) *CompactTable {
+	t := &CompactTable{}
+	t.rebuild(tuples, nil, nil)
+	return t
+}
+
+// rebuild (re)initialises t over tuples, reusing the supplied starts/entries
+// scratch when it has capacity. Counting pass → exclusive prefix sum →
+// scatter → shift-down to restore starts.
+//
+//skewlint:hotpath
+func (t *CompactTable) rebuild(tuples []relation.Tuple, starts []int32, entries []relation.Tuple) {
+	nb := bucketCount(len(tuples))
+	if cap(starts) >= nb+1 {
+		starts = starts[:nb+1]
+	} else {
+		starts = make([]int32, nb+1)
+	}
+	if cap(entries) >= len(tuples) {
+		entries = entries[:len(tuples)]
+	} else {
+		entries = make([]relation.Tuple, len(tuples))
+	}
+	t.shift = 32 - hashfn.Log2(nb)
+	t.starts = starts
+	t.entries = entries
+	for b := range starts {
+		starts[b] = 0
+	}
+	for _, tp := range tuples {
+		starts[hashfn.Mix32(uint32(tp.Key))>>t.shift]++
+	}
+	// Exclusive prefix sum: starts[b] becomes bucket b's first slot.
+	sum := int32(0)
+	for b := 0; b < nb; b++ {
+		c := starts[b]
+		starts[b] = sum
+		sum += c
+	}
+	starts[nb] = sum
+	// Scatter, advancing each bucket's cursor past its filled slots...
+	for _, tp := range tuples {
+		b := hashfn.Mix32(uint32(tp.Key)) >> t.shift
+		entries[starts[b]] = tp
+		starts[b]++
+	}
+	// ...which leaves starts[b] == end of bucket b == start of bucket b+1;
+	// shift down one slot to restore the begin offsets.
+	for b := nb; b >= 1; b-- {
+		starts[b] = starts[b-1]
+	}
+	starts[0] = 0
+	if sanitize.Enabled && int(starts[nb]) != len(tuples) {
+		sanitize.Failf("chainedtable: compact build lost tuples (starts[%d]=%d, want %d)",
+			nb, starts[nb], len(tuples))
+	}
+}
+
+// Probe scans k's bucket sequentially, invoking fn for every matching
+// tuple, and returns the number of entries inspected. A probe inspects the
+// whole bucket — exactly the entries a chained walk of the same bucket
+// would visit — so visit counts are layout-independent.
+//
+//skewlint:hotpath
+func (t *CompactTable) Probe(k relation.Key, fn func(pr relation.Payload)) int {
+	b := hashfn.Mix32(uint32(k)) >> t.shift
+	lo, hi := t.starts[b], t.starts[b+1]
+	for i := lo; i < hi; i++ {
+		if t.entries[i].Key == k {
+			fn(t.entries[i].Payload)
+		}
+	}
+	return int(hi - lo)
+}
+
+// ProbeGroup is Table.ProbeGroup for the compact layout: S tuples are
+// probed in lock-stepped groups of GroupSize, each lane advancing one entry
+// of its bucket run per round. For short buckets the sequential scan already
+// prefetches well, but under skew the lock-step keeps many hot-bucket scans
+// in flight and preserves the mode's emit order across layouts.
+//
+//skewlint:hotpath
+func (t *CompactTable) ProbeGroup(ts []relation.Tuple, fn func(i int, pr relation.Payload)) int {
+	visited := 0
+	for lo := 0; lo < len(ts); lo += GroupSize {
+		hi := lo + GroupSize
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		visited += t.probeGroup(ts[lo:hi], lo, fn)
+	}
+	return visited
+}
+
+//skewlint:hotpath
+func (t *CompactTable) probeGroup(ts []relation.Tuple, base int, fn func(i int, pr relation.Payload)) int {
+	var cur, end, slot [GroupSize]int32
+	m := 0
+	visited := 0
+	for j := range ts {
+		b := hashfn.Mix32(uint32(ts[j].Key)) >> t.shift
+		lo, hi := t.starts[b], t.starts[b+1]
+		visited += int(hi - lo)
+		if lo < hi {
+			cur[m], end[m], slot[m] = lo, hi, int32(j)
+			m++
+		}
+	}
+	for m > 0 {
+		k := 0
+		for l := 0; l < m; l++ {
+			i, j := cur[l], slot[l]
+			if t.entries[i].Key == ts[j].Key {
+				fn(base+int(j), t.entries[i].Payload)
+			}
+			if i+1 < end[l] {
+				cur[k], end[k], slot[k] = i+1, end[l], j
+				k++
+			}
+		}
+		m = k
+	}
+	return visited
+}
+
+// MaxChain returns the largest bucket's entry count (the compact analogue
+// of the longest chain).
+//
+//skewlint:hotpath
+func (t *CompactTable) MaxChain() int {
+	max := int32(0)
+	for b := 0; b+1 < len(t.starts); b++ {
+		if n := t.starts[b+1] - t.starts[b]; n > max {
+			max = n
+		}
+	}
+	return int(max)
+}
+
+// Len returns the number of tuples in the table.
+func (t *CompactTable) Len() int { return len(t.entries) }
+
+// Buckets returns the number of buckets.
+func (t *CompactTable) Buckets() int { return len(t.starts) - 1 }

@@ -1,0 +1,82 @@
+package chainedtable
+
+import "skewjoin/internal/relation"
+
+// GroupSize is the number of S tuples a grouped probe keeps in flight at
+// once. 64 lanes × two live arrays (chain cursor + lane slot) stay in
+// registers/L1 while being comfortably past the handful of dependent
+// loads an out-of-order core can overlap on its own.
+const GroupSize = 64
+
+// ProbeMode selects how the join phase walks the build table with S
+// tuples. Both modes produce the identical match multiset per S tuple;
+// the knob exists so the A/B harness can measure the lock-step pipeline
+// against the seed's one-probe-at-a-time walk.
+type ProbeMode uint8
+
+const (
+	// ProbeScalar probes one S tuple at a time, walking its whole chain
+	// before the next probe starts (the seed path).
+	ProbeScalar ProbeMode = iota
+	// ProbeGrouped probes S tuples in GroupSize-wide groups whose chain
+	// walks advance in lock-step, overlapping the dependent loads.
+	ProbeGrouped
+)
+
+// String returns the benchmark-facing name of the mode.
+func (m ProbeMode) String() string {
+	if m == ProbeGrouped {
+		return "grouped"
+	}
+	return "scalar"
+}
+
+// Layout selects the build-table representation the join phase constructs
+// per task. Both layouts are probe-equivalent: the same matches, and the
+// same visit count (a probe inspects every entry of its key's bucket
+// either way).
+type Layout uint8
+
+const (
+	// LayoutChained is the paper's index-linked bucket-chained table (the
+	// seed path): build is one scatter pass, probing follows next[] links
+	// with one dependent load per node.
+	LayoutChained Layout = iota
+	// LayoutCompact stores each bucket's entries contiguously, built with
+	// an extra counting pre-pass; probing scans the bucket sequentially —
+	// the chained-vs-array tension of the paper made measurable.
+	LayoutCompact
+)
+
+// String returns the benchmark-facing name of the layout.
+func (l Layout) String() string {
+	if l == LayoutCompact {
+		return "compact"
+	}
+	return "chained"
+}
+
+// HashTable is the probe-side view of a single-owner build table, satisfied
+// by *Table (chained) and *CompactTable. The join phase builds through an
+// Arena and probes through this interface so every (ProbeMode, Layout)
+// combination shares one task loop.
+type HashTable interface {
+	// Probe invokes fn for every tuple matching k and returns the number
+	// of bucket entries inspected.
+	Probe(k relation.Key, fn func(pr relation.Payload)) int
+	// ProbeGroup probes all of ts in lock-stepped groups, invoking
+	// fn(i, payload) for each match of ts[i], and returns total entries
+	// inspected.
+	ProbeGroup(ts []relation.Tuple, fn func(i int, pr relation.Payload)) int
+	// MaxChain returns the largest bucket's entry count.
+	MaxChain() int
+	// Len returns the number of tuples in the table.
+	Len() int
+	// Buckets returns the number of buckets.
+	Buckets() int
+}
+
+var (
+	_ HashTable = (*Table)(nil)
+	_ HashTable = (*CompactTable)(nil)
+)

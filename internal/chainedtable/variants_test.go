@@ -1,0 +1,345 @@
+package chainedtable
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"skewjoin/internal/relation"
+)
+
+// match is one (S index, R payload) probe result, the unit the equivalence
+// tests compare across probe modes and layouts.
+type match struct {
+	i  int
+	pr relation.Payload
+}
+
+func sortMatches(ms []match) {
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].i != ms[b].i {
+			return ms[a].i < ms[b].i
+		}
+		return ms[a].pr < ms[b].pr
+	})
+}
+
+// scalarMatches probes ts one at a time through any HashTable.
+func scalarMatches(t HashTable, ts []relation.Tuple) ([]match, int) {
+	var ms []match
+	visited := 0
+	for i := range ts {
+		visited += t.Probe(ts[i].Key, func(pr relation.Payload) {
+			ms = append(ms, match{i, pr})
+		})
+	}
+	return ms, visited
+}
+
+// groupMatches probes ts through ProbeGroup.
+func groupMatches(t HashTable, ts []relation.Tuple) ([]match, int) {
+	var ms []match
+	visited := t.ProbeGroup(ts, func(i int, pr relation.Payload) {
+		ms = append(ms, match{i, pr})
+	})
+	return ms, visited
+}
+
+type variantWorkload struct {
+	name string
+	r, s []relation.Tuple
+}
+
+// variantWorkloads returns the inputs the equivalence tests sweep: uniform,
+// moderately skewed (small key range), one-hot, empty sides, and
+// group-boundary sizes.
+func variantWorkloads() []variantWorkload {
+	mk := func(n, keyRange int, seed int64) []relation.Tuple { return randomTuples(n, keyRange, seed) }
+	hot := func(n int) []relation.Tuple {
+		ts := make([]relation.Tuple, n)
+		for i := range ts {
+			ts[i] = relation.Tuple{Key: 7, Payload: relation.Payload(i)}
+		}
+		return ts
+	}
+	return []variantWorkload{
+		{"uniform", mk(4000, 1<<20, 10), mk(4000, 1<<20, 11)},
+		{"skewed", mk(3000, 40, 12), mk(3000, 40, 13)},
+		{"one-hot", hot(500), hot(700)},
+		{"empty-s", mk(100, 50, 14), nil},
+		{"empty-r", nil, mk(100, 50, 15)},
+		{"group-boundary", mk(GroupSize*3, 30, 16), mk(GroupSize*3+1, 30, 17)},
+		{"sub-group", mk(5, 5, 18), mk(GroupSize-1, 5, 19)},
+	}
+}
+
+// TestProbeVariantsEquivalent is the package-level analogue of the radix
+// variants test: every (layout × probe mode) combination over every
+// workload must produce the identical match multiset and the identical
+// visit count as the seed scalar/chained path.
+func TestProbeVariantsEquivalent(t *testing.T) {
+	for _, w := range variantWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			chained := Build(w.r)
+			wantMatches, wantVisits := scalarMatches(chained, w.s)
+			sortMatches(wantMatches)
+
+			tables := map[string]HashTable{
+				"chained": chained,
+				"compact": BuildCompact(w.r),
+			}
+			for lname, table := range tables {
+				for _, mode := range []ProbeMode{ProbeScalar, ProbeGrouped} {
+					var got []match
+					var visits int
+					if mode == ProbeGrouped {
+						got, visits = groupMatches(table, w.s)
+					} else {
+						got, visits = scalarMatches(table, w.s)
+					}
+					sortMatches(got)
+					name := fmt.Sprintf("%s/%s", lname, mode)
+					if visits != wantVisits {
+						t.Errorf("%s: visited %d, want %d", name, visits, wantVisits)
+					}
+					if len(got) != len(wantMatches) {
+						t.Fatalf("%s: %d matches, want %d", name, len(got), len(wantMatches))
+					}
+					for i := range got {
+						if got[i] != wantMatches[i] {
+							t.Fatalf("%s: match %d = %+v, want %+v", name, i, got[i], wantMatches[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentProbeGroupEquivalent checks the shared-table grouped probe
+// against its own scalar walk (the no-partition join's pairing).
+func TestConcurrentProbeGroupEquivalent(t *testing.T) {
+	r := randomTuples(6000, 80, 20)
+	s := randomTuples(6000, 80, 21)
+	con := NewConcurrent(r)
+	for i := range r {
+		con.Insert(i)
+	}
+	var want, got []match
+	wantVisits := 0
+	for i := range s {
+		wantVisits += con.Probe(s[i].Key, func(pr relation.Payload) { want = append(want, match{i, pr}) })
+	}
+	gotVisits := con.ProbeGroup(s, func(i int, pr relation.Payload) { got = append(got, match{i, pr}) })
+	sortMatches(want)
+	sortMatches(got)
+	if gotVisits != wantVisits {
+		t.Errorf("grouped visited %d, scalar %d", gotVisits, wantVisits)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("grouped %d matches, scalar %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: grouped %+v, scalar %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestArenaReuse drives a sequence of builds through one arena and checks
+// (a) every build probes correctly, (b) scratch is actually recycled once
+// capacities stabilise, and (c) Detach hands out tables that survive
+// subsequent builds.
+func TestArenaReuse(t *testing.T) {
+	for _, layout := range []Layout{LayoutChained, LayoutCompact} {
+		t.Run(layout.String(), func(t *testing.T) {
+			arena := &Arena{}
+			// Grow to the high-water mark, then rebuild smaller partitions;
+			// each table must reflect only its own tuples.
+			sizes := []int{1 << 12, 100, 1, 37, 1 << 10, 0, 255}
+			for round, n := range sizes {
+				tuples := randomTuples(n, 64, int64(30+round))
+				table := arena.Build(tuples, layout)
+				if table.Len() != n {
+					t.Fatalf("round %d: Len = %d, want %d", round, table.Len(), n)
+				}
+				want := make(map[relation.Key]int)
+				for _, tp := range tuples {
+					want[tp.Key]++
+				}
+				total := 0
+				for k := relation.Key(0); k < 64; k++ {
+					got := 0
+					table.Probe(k, func(relation.Payload) { got++ })
+					if got != want[k] {
+						t.Fatalf("round %d key %d: %d matches, want %d", round, k, got, want[k])
+					}
+					total += got
+				}
+				if total != n {
+					t.Fatalf("round %d: probed %d tuples, want %d", round, total, n)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaDetach verifies the split-task contract: a detached table keeps
+// answering probes correctly even after the arena builds over new input.
+func TestArenaDetach(t *testing.T) {
+	for _, layout := range []Layout{LayoutChained, LayoutCompact} {
+		t.Run(layout.String(), func(t *testing.T) {
+			arena := &Arena{}
+			kept := randomTuples(2000, 50, 40)
+			keptTable := arena.Build(kept, layout)
+			arena.Detach()
+			// Build several more tables; without Detach these would have
+			// clobbered keptTable's scratch in place.
+			for round := 0; round < 4; round++ {
+				arena.Build(randomTuples(3000, 50, int64(41+round)), layout)
+			}
+			want := make(map[relation.Key]int)
+			for _, tp := range kept {
+				want[tp.Key]++
+			}
+			for k := relation.Key(0); k < 50; k++ {
+				got := 0
+				keptTable.Probe(k, func(relation.Payload) { got++ })
+				if got != want[k] {
+					t.Fatalf("key %d after detach: %d matches, want %d", k, got, want[k])
+				}
+			}
+		})
+	}
+}
+
+// TestArenaSteadyStateAllocFree is the arena's reason to exist: after the
+// first build grows the scratch, same-size rebuilds must allocate nothing.
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	for _, layout := range []Layout{LayoutChained, LayoutCompact} {
+		t.Run(layout.String(), func(t *testing.T) {
+			arena := &Arena{}
+			tuples := randomTuples(1<<12, 200, 50)
+			arena.Build(tuples, layout) // warm-up: grows scratch
+			allocs := testing.AllocsPerRun(20, func() {
+				arena.Build(tuples, layout)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state arena build allocates %.1f per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestNilArenaBuilds pins the nil-receiver contract callers without reuse
+// rely on.
+func TestNilArenaBuilds(t *testing.T) {
+	var arena *Arena
+	tuples := randomTuples(500, 30, 60)
+	for _, layout := range []Layout{LayoutChained, LayoutCompact} {
+		table := arena.Build(tuples, layout)
+		if table.Len() != len(tuples) {
+			t.Errorf("%s: Len = %d, want %d", layout, table.Len(), len(tuples))
+		}
+	}
+	arena.Detach() // must not panic
+}
+
+// TestModeAndLayoutStrings pins the benchmark-facing knob names.
+func TestModeAndLayoutStrings(t *testing.T) {
+	if ProbeScalar.String() != "scalar" || ProbeGrouped.String() != "grouped" {
+		t.Errorf("ProbeMode strings: %q, %q", ProbeScalar, ProbeGrouped)
+	}
+	if LayoutChained.String() != "chained" || LayoutCompact.String() != "compact" {
+		t.Errorf("Layout strings: %q, %q", LayoutChained, LayoutCompact)
+	}
+	if ProbeScalar != 0 || LayoutChained != 0 {
+		t.Error("seed-identical variants must be the zero values")
+	}
+}
+
+// BenchmarkBuildTiny measures build cost on 1-8 tuple partitions — the
+// satellite fix: with the old 2-bucket minimum a 1-tuple build paid for
+// bucket hashing and head clearing it could never use.
+func BenchmarkBuildTiny(b *testing.B) {
+	for _, size := range []int{1, 2, 4, 8} {
+		tuples := make([]relation.Tuple, size)
+		for i := range tuples {
+			tuples[i] = relation.Tuple{Key: relation.Key(i * 2654435761), Payload: relation.Payload(i)}
+		}
+		b.Run(fmt.Sprintf("alloc/size=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Build(tuples)
+			}
+		})
+		b.Run(fmt.Sprintf("arena/size=%d", size), func(b *testing.B) {
+			arena := &Arena{}
+			arena.Build(tuples, LayoutChained)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arena.Build(tuples, LayoutChained)
+			}
+		})
+	}
+}
+
+// BenchmarkProbeModes contrasts scalar and grouped probing on both layouts
+// across chain-length regimes. Grouped probing exists for the long-chain
+// (skewed) rows: scalar serialises one dependent load per node, grouped
+// keeps up to GroupSize walks in flight.
+func BenchmarkProbeModes(b *testing.B) {
+	const size = 1 << 14
+	for _, skew := range []struct {
+		name     string
+		keyRange int
+	}{
+		{"distinct", 1 << 30},
+		{"moderate", 64},
+		{"one-hot", 1},
+	} {
+		r := make([]relation.Tuple, size)
+		s := make([]relation.Tuple, size)
+		for i := range r {
+			r[i] = relation.Tuple{Key: relation.Key((i * 2654435761) % skew.keyRange), Payload: relation.Payload(i)}
+			s[i] = relation.Tuple{Key: relation.Key((i * 40503) % skew.keyRange), Payload: relation.Payload(i)}
+		}
+		tables := []struct {
+			name  string
+			table HashTable
+		}{
+			{"chained", Build(r)},
+			{"compact", BuildCompact(r)},
+		}
+		for _, tb := range tables {
+			b.Run(fmt.Sprintf("%s/scalar/%s", tb.name, skew.name), func(b *testing.B) {
+				b.SetBytes(int64(size) * relation.TupleSize)
+				// The emit closure is created once, mirroring the join
+				// phase's per-worker closures: the steady-state probe loop
+				// must report 0 allocs/op.
+				var sink relation.Payload
+				emit := func(p relation.Payload) { sink += p }
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range s {
+						tb.table.Probe(s[j].Key, emit)
+					}
+				}
+				_ = sink
+			})
+			b.Run(fmt.Sprintf("%s/grouped/%s", tb.name, skew.name), func(b *testing.B) {
+				b.SetBytes(int64(size) * relation.TupleSize)
+				var sink relation.Payload
+				emit := func(_ int, p relation.Payload) { sink += p }
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tb.table.ProbeGroup(s, emit)
+				}
+				_ = sink
+			})
+		}
+	}
+}

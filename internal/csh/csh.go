@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"skewjoin/internal/chainedtable"
 	"skewjoin/internal/exec"
 	"skewjoin/internal/freqtable"
 	"skewjoin/internal/joinphase"
@@ -59,6 +60,14 @@ type Config struct {
 	// Sched selects the dynamic task queue used by partition pass 2 and
 	// the NM-join phase (default radix.SchedAtomic).
 	Sched radix.SchedMode
+	// Probe selects the NM-join phase's probe strategy (default
+	// chainedtable.ProbeScalar; ProbeGrouped advances GroupSize chain walks
+	// in lock-step). Output-equivalent.
+	Probe chainedtable.ProbeMode
+	// Layout selects the NM-join phase's build-table layout (default
+	// chainedtable.LayoutChained; LayoutCompact stores buckets
+	// contiguously). Output-equivalent.
+	Layout chainedtable.Layout
 	// Ctx optionally cancels the run (nil = never). Cancellation is
 	// checked at phase boundaries and between NM-join tasks; a cancelled
 	// run reports Result.Canceled and its summary must be discarded.
@@ -283,6 +292,8 @@ func Join(r, s relation.Relation, cfg Config) Result {
 			Threads:    cfg.Threads,
 			SkewFactor: cfg.SkewFactor,
 			Sched:      cfg.Sched,
+			Probe:      cfg.Probe,
+			Layout:     cfg.Layout,
 			Ctx:        cfg.Ctx,
 		}, bufs)
 	})

@@ -1,0 +1,55 @@
+package csh
+
+import (
+	"fmt"
+	"testing"
+
+	"skewjoin/internal/chainedtable"
+	"skewjoin/internal/oracle"
+)
+
+// TestProbeLayoutKnobsOutputInvariant sweeps the NM-join A/B knobs through
+// the full CSH pipeline — skew detection, hybrid partitioning and the
+// on-the-fly skewed-S joins are all upstream of the knobs, so the summary
+// must be identical for every combination.
+func TestProbeLayoutKnobsOutputInvariant(t *testing.T) {
+	for _, theta := range []float64{0, 1.0} {
+		r, s := workload(t, 15000, theta, 31)
+		want := oracle.Expected(r, s)
+		for _, probe := range []chainedtable.ProbeMode{chainedtable.ProbeScalar, chainedtable.ProbeGrouped} {
+			for _, layout := range []chainedtable.Layout{chainedtable.LayoutChained, chainedtable.LayoutCompact} {
+				cfg := Config{Threads: 4, Probe: probe, Layout: layout}
+				res := Join(r, s, cfg)
+				name := fmt.Sprintf("theta=%g/%s/%s", theta, probe, layout)
+				if res.Summary != want {
+					t.Errorf("%s: got %+v, want %+v", name, res.Summary, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNMTimingSplit checks BuildNs/ProbeNs through CSH's NM-join: positive
+// whenever normal partitions exist, and bounded by threads × nmjoin wall.
+func TestNMTimingSplit(t *testing.T) {
+	const threads = 3
+	r, s := workload(t, 30000, 0.5, 33)
+	res := Join(r, s, Config{Threads: threads})
+	st := res.Stats.NM
+	if st.BuildNs <= 0 || st.ProbeNs <= 0 {
+		t.Fatalf("BuildNs=%d ProbeNs=%d, want both positive", st.BuildNs, st.ProbeNs)
+	}
+	var nmWall int64
+	for _, p := range res.Phases {
+		if p.Name == "nmjoin" {
+			nmWall = p.Duration.Nanoseconds()
+		}
+	}
+	if nmWall == 0 {
+		t.Fatal("no nmjoin phase recorded")
+	}
+	if budget := threads*nmWall + int64(1e6); st.BuildNs+st.ProbeNs > budget {
+		t.Errorf("BuildNs+ProbeNs = %d exceeds %d (threads × nmjoin wall + grain)",
+			st.BuildNs+st.ProbeNs, budget)
+	}
+}

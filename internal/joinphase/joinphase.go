@@ -4,15 +4,30 @@
 // with multiple CPU threads in the similar fashion as Cbase").
 //
 // Every non-empty (R partition, S partition) pair becomes a join task in a
-// dynamic queue. A worker dequeues a task, builds a chained hash table over
-// the R partition, and probes it with the S partition. Cbase's skew
-// handling is included: a task whose S side is much larger than average is
-// broken up — the table is built once and the S side is re-enqueued as
-// smaller probe sub-tasks.
+// dynamic queue. A worker dequeues a task, builds a hash table over the R
+// partition, and probes it with the S partition. Cbase's skew handling is
+// included: a task whose S side is much larger than average is broken up —
+// the table is built once and the S side is re-enqueued as smaller probe
+// sub-tasks.
+//
+// The hot path carries two output-identical A/B knobs mirroring the
+// partitioner's Scatter/Sched pair:
+//
+//   - Config.Probe selects scalar probing (one S tuple at a time, the seed
+//     path) or grouped probing (chainedtable.ProbeGroup: GroupSize chain
+//     walks advanced in lock-step so their dependent loads overlap);
+//   - Config.Layout selects the chained table or the compact bucket-array
+//     layout (chainedtable.LayoutCompact).
+//
+// Build scratch is recycled through a per-worker chainedtable.Arena, so
+// after the first few tasks grow each worker's buffers the steady-state
+// join phase allocates nothing per task. Tables handed to probe sub-tasks
+// escape their worker and are detached from the arena first.
 package joinphase
 
 import (
 	"context"
+	"time"
 
 	"skewjoin/internal/chainedtable"
 	"skewjoin/internal/exec"
@@ -33,6 +48,14 @@ type Config struct {
 	// the lock-free fetch-add queue; radix.SchedMutex restores the seed's
 	// mutex-guarded queue for A/B benchmarks).
 	Sched radix.SchedMode
+	// Probe selects the probe strategy (default chainedtable.ProbeScalar,
+	// the seed's one-probe-at-a-time walk; chainedtable.ProbeGrouped
+	// advances GroupSize chain walks in lock-step).
+	Probe chainedtable.ProbeMode
+	// Layout selects the build-table representation (default
+	// chainedtable.LayoutChained, the paper's index-linked chains;
+	// chainedtable.LayoutCompact stores buckets contiguously).
+	Layout chainedtable.Layout
 	// Ctx optionally cancels the phase between join tasks (nil = never).
 	// A cancelled run reports Stats.Canceled and its output is partial.
 	Ctx context.Context
@@ -51,22 +74,146 @@ type taskQueue interface {
 type Stats struct {
 	Tasks         int    // join tasks drained, including probe sub-tasks
 	SplitTasks    int    // oversized tasks that were broken up
-	MaxChain      int    // longest hash chain across all build tables
-	ProbeVisits   uint64 // total chain nodes visited while probing
+	MaxChain      int    // longest hash chain / largest bucket across all build tables
+	ProbeVisits   uint64 // total bucket entries visited while probing
 	MaxTaskOutput uint64 // results produced by the single largest task
+	BuildNs       int64  // CPU ns spent building tables, summed across workers
+	ProbeNs       int64  // CPU ns spent probing, summed across workers
 	Canceled      bool   // Config.Ctx fired before the queue drained
 }
 
 type task struct {
-	part  int                 // partition index; -1 for a probe sub-task
-	table *chainedtable.Table // pre-built R table for probe sub-tasks
-	sPart []relation.Tuple    // S tuples to probe for probe sub-tasks
+	part  int                    // partition index; -1 for a probe sub-task
+	table chainedtable.HashTable // pre-built R table for probe sub-tasks
+	sPart []relation.Tuple       // S tuples to probe for probe sub-tasks
+}
+
+// worker holds one thread's output buffer, build arena, emit state and
+// stat counters. The emit closures are created once per worker (not per
+// task, let alone per probe) so the hot loops never allocate.
+type worker struct {
+	buf   *outbuf.Buffer
+	arena *chainedtable.Arena
+
+	// scalar emit state: the S tuple currently being probed.
+	curKey     relation.Key
+	curPS      relation.Payload
+	emitScalar func(pr relation.Payload)
+
+	// grouped emit state: the task's S side plus a staging batch flushed
+	// through outbuf.PushBatch one probe group at a time.
+	sSide       []relation.Tuple
+	batch       [chainedtable.GroupSize]outbuf.Result
+	bn          int
+	emitGrouped func(i int, pr relation.Payload)
+
+	maxChain      int
+	probeVisits   uint64
+	maxTaskOutput uint64
+	splits        int
+	buildNs       int64
+	probeNs       int64
+}
+
+// probeScalar probes sSide one tuple at a time (the seed path).
+//
+//skewlint:hotpath
+func (w *worker) probeScalar(table chainedtable.HashTable, sSide []relation.Tuple) {
+	for _, ts := range sSide {
+		w.curKey, w.curPS = ts.Key, ts.Payload
+		w.probeVisits += uint64(table.Probe(ts.Key, w.emitScalar))
+	}
+}
+
+// probeGrouped probes sSide through the lock-step group walk, staging
+// matches in w.batch and emitting them a batch at a time.
+//
+//skewlint:hotpath
+func (w *worker) probeGrouped(table chainedtable.HashTable, sSide []relation.Tuple) {
+	w.sSide = sSide
+	w.probeVisits += uint64(table.ProbeGroup(sSide, w.emitGrouped))
+	if w.bn > 0 {
+		w.buf.PushBatch(w.batch[:w.bn])
+		w.bn = 0
+	}
+	w.sSide = nil
+}
+
+// stage records one grouped-probe match in the staging batch, flushing a
+// full batch through the buffer's batch fast path.
+//
+//skewlint:hotpath
+func (w *worker) stage(i int, pr relation.Payload) {
+	s := &w.sSide[i]
+	w.batch[w.bn] = outbuf.Result{Key: s.Key, PayloadR: pr, PayloadS: s.Payload}
+	w.bn++
+	if w.bn == len(w.batch) {
+		w.buf.PushBatch(w.batch[:])
+		w.bn = 0
+	}
+}
+
+// runner carries the per-phase constants every task shares.
+type runner struct {
+	pr, ps         *radix.Partitioned
+	probe          chainedtable.ProbeMode
+	layout         chainedtable.Layout
+	avg            int
+	splitThreshold int
+	q              taskQueue
+}
+
+// doTask executes one join task on worker w: build (arena-recycled, timed),
+// split if oversized, probe (timed). Deliberately not a lint hot path —
+// the phase timers live here, bracketing the marked helpers that are.
+func (r *runner) doTask(w *worker, t task) {
+	var table chainedtable.HashTable
+	var sSide []relation.Tuple
+
+	if t.part >= 0 {
+		t0 := time.Now()
+		table = w.arena.Build(r.pr.Part(t.part), r.layout)
+		w.buildNs += time.Since(t0).Nanoseconds()
+		if mc := table.MaxChain(); mc > w.maxChain {
+			w.maxChain = mc
+		}
+		sPart := r.ps.Part(t.part)
+		if r.splitThreshold > 0 && len(sPart) > r.splitThreshold {
+			w.splits++
+			// The table escapes to whichever workers drain the sub-tasks;
+			// detach it so the arena's next build cannot clobber it.
+			w.arena.Detach()
+			for lo := r.avg; lo < len(sPart); lo += r.avg {
+				hi := lo + r.avg
+				if hi > len(sPart) {
+					hi = len(sPart)
+				}
+				r.q.Push(task{part: -1, table: table, sPart: sPart[lo:hi]})
+			}
+			sSide = sPart[:r.avg]
+		} else {
+			sSide = sPart
+		}
+	} else {
+		table = t.table
+		sSide = t.sPart
+	}
+
+	before := w.buf.Count()
+	t1 := time.Now()
+	if r.probe == chainedtable.ProbeGrouped {
+		w.probeGrouped(table, sSide)
+	} else {
+		w.probeScalar(table, sSide)
+	}
+	w.probeNs += time.Since(t1).Nanoseconds()
+	if out := w.buf.Count() - before; out > w.maxTaskOutput {
+		w.maxTaskOutput = out
+	}
 }
 
 // Run joins every partition pair of pr and ps, emitting results into the
 // per-worker buffers bufs (len must be >= cfg.Threads).
-//
-//skewlint:hotpath
 func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 	if cfg.Threads <= 0 {
 		cfg.Threads = exec.DefaultThreads()
@@ -98,79 +245,44 @@ func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 		q = exec.NewQueue(tasks)
 	}
 
-	type workerStat struct {
-		maxChain      int
-		probeVisits   uint64
-		maxTaskOutput uint64
-		splits        int
+	r := &runner{
+		pr: pr, ps: ps,
+		probe: cfg.Probe, layout: cfg.Layout,
+		avg: avg, splitThreshold: splitThreshold,
+		q: q,
 	}
-	ws := make([]workerStat, cfg.Threads)
+	ws := make([]worker, cfg.Threads)
+	for i := range ws {
+		w := &ws[i]
+		w.buf = bufs[i]
+		w.arena = &chainedtable.Arena{}
+		w.emitScalar = func(pr relation.Payload) { w.buf.Push(w.curKey, pr, w.curPS) }
+		w.emitGrouped = w.stage
+	}
 
 	var drainErr error
-	drain := func(fn func(w int, t task)) {
-		if cfg.Ctx != nil {
-			drainErr = q.DrainCtx(cfg.Ctx, cfg.Threads, fn)
-		} else {
-			q.Drain(cfg.Threads, fn)
-		}
+	fn := func(wi int, t task) { r.doTask(&ws[wi], t) }
+	if cfg.Ctx != nil {
+		drainErr = q.DrainCtx(cfg.Ctx, cfg.Threads, fn)
+	} else {
+		q.Drain(cfg.Threads, fn)
 	}
-	drain(func(w int, t task) {
-		buf := bufs[w]
-		stat := &ws[w]
-		var table *chainedtable.Table
-		var sSide []relation.Tuple
-
-		if t.part >= 0 {
-			table = chainedtable.Build(pr.Part(t.part))
-			if mc := table.MaxChain(); mc > stat.maxChain {
-				stat.maxChain = mc
-			}
-			sPart := ps.Part(t.part)
-			if splitThreshold > 0 && len(sPart) > splitThreshold {
-				stat.splits++
-				for lo := avg; lo < len(sPart); lo += avg {
-					hi := lo + avg
-					if hi > len(sPart) {
-						hi = len(sPart)
-					}
-					q.Push(task{part: -1, table: table, sPart: sPart[lo:hi]})
-				}
-				sSide = sPart[:avg]
-			} else {
-				sSide = sPart
-			}
-		} else {
-			table = t.table
-			sSide = t.sPart
-		}
-
-		before := buf.Count()
-		// One emit closure per task (not per probe) keeps the hot loop free
-		// of per-tuple closure allocation.
-		var curKey relation.Key
-		var curPS relation.Payload
-		emit := func(p relation.Payload) { buf.Push(curKey, p, curPS) }
-		for _, ts := range sSide {
-			curKey, curPS = ts.Key, ts.Payload
-			stat.probeVisits += uint64(table.Probe(ts.Key, emit))
-		}
-		if out := buf.Count() - before; out > stat.maxTaskOutput {
-			stat.maxTaskOutput = out
-		}
-	})
 
 	var st Stats
 	st.Canceled = drainErr != nil
 	st.Tasks = q.Len()
-	for _, s := range ws {
-		if s.maxChain > st.MaxChain {
-			st.MaxChain = s.maxChain
+	for i := range ws {
+		w := &ws[i]
+		if w.maxChain > st.MaxChain {
+			st.MaxChain = w.maxChain
 		}
-		st.ProbeVisits += s.probeVisits
-		if s.maxTaskOutput > st.MaxTaskOutput {
-			st.MaxTaskOutput = s.maxTaskOutput
+		st.ProbeVisits += w.probeVisits
+		if w.maxTaskOutput > st.MaxTaskOutput {
+			st.MaxTaskOutput = w.maxTaskOutput
 		}
-		st.SplitTasks += s.splits
+		st.SplitTasks += w.splits
+		st.BuildNs += w.buildNs
+		st.ProbeNs += w.probeNs
 	}
 	return st
 }

@@ -1,0 +1,88 @@
+package outbuf
+
+import (
+	"testing"
+
+	"skewjoin/internal/relation"
+)
+
+func batchOf(n int) []Result {
+	rs := make([]Result, n)
+	for i := range rs {
+		rs[i] = Result{
+			Key:      relation.Key(i * 13),
+			PayloadR: relation.Payload(i * 7),
+			PayloadS: relation.Payload(i * 3),
+		}
+	}
+	return rs
+}
+
+func TestPushBatchEquivalentToPushes(t *testing.T) {
+	rs := batchOf(37)
+	a := New(16)
+	for _, r := range rs {
+		a.Push(r.Key, r.PayloadR, r.PayloadS)
+	}
+	b := New(16)
+	b.PushBatch(rs)
+	if a.Count() != b.Count() || a.Checksum() != b.Checksum() {
+		t.Errorf("PushBatch diverges: (%d,%d) vs (%d,%d)", a.Count(), a.Checksum(), b.Count(), b.Checksum())
+	}
+	// The ring tails must agree too: PushBatch writes the same slots.
+	al, bl := a.Last(16), b.Last(16)
+	for i := range al {
+		if al[i] != bl[i] {
+			t.Fatalf("ring tail differs at %d: %+v vs %+v", i, al[i], bl[i])
+		}
+	}
+}
+
+func TestPushBatchEmpty(t *testing.T) {
+	b := New(4)
+	b.PushBatch(nil)
+	b.PushBatch([]Result{})
+	if b.Count() != 0 || b.Checksum() != 0 {
+		t.Errorf("empty batches changed state: %d, %d", b.Count(), b.Checksum())
+	}
+}
+
+func TestPushBatchFlushDeliversEveryResult(t *testing.T) {
+	// Batches larger and smaller than the ring, spanning multiple wraps:
+	// the flush consumer must see every result exactly once, in emit order.
+	b := New(8)
+	var seen []Result
+	b.SetFlush(func(batch []Result) { seen = append(seen, batch...) })
+	rs := batchOf(53)
+	b.PushBatch(rs[:20]) // 2.5 rings
+	b.PushBatch(rs[20:23])
+	b.PushBatch(rs[23:])
+	b.Flush()
+	if len(seen) != len(rs) {
+		t.Fatalf("consumer saw %d results, want %d", len(seen), len(rs))
+	}
+	for i := range seen {
+		if seen[i] != rs[i] {
+			t.Fatalf("result %d: %+v, want %+v", i, seen[i], rs[i])
+		}
+	}
+	if b.Count() != uint64(len(rs)) {
+		t.Errorf("count = %d", b.Count())
+	}
+}
+
+func TestPushBatchInterleavesWithPush(t *testing.T) {
+	rs := batchOf(12)
+	a, b := New(8), New(8)
+	for _, r := range rs {
+		a.Push(r.Key, r.PayloadR, r.PayloadS)
+	}
+	b.Push(rs[0].Key, rs[0].PayloadR, rs[0].PayloadS)
+	b.PushBatch(rs[1:7])
+	b.Push(rs[7].Key, rs[7].PayloadR, rs[7].PayloadS)
+	b.PushBatch(rs[8:])
+	if a.Count() != b.Count() || a.Checksum() != b.Checksum() {
+		t.Errorf("interleaved PushBatch diverges: (%d,%d) vs (%d,%d)",
+			a.Count(), a.Checksum(), b.Count(), b.Checksum())
+	}
+}

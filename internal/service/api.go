@@ -92,6 +92,19 @@ type KeyWeight struct {
 	Weight uint64 `json:"weight"`
 }
 
+// JoinPhaseInfo reports the CPU join phase's internals for one request:
+// task counts, skew symptoms, and the build/probe CPU-time split (summed
+// across workers, so it can exceed the phase wall-clock). Present for the
+// CPU hash joins only.
+type JoinPhaseInfo struct {
+	Tasks       int     `json:"tasks"`
+	SplitTasks  int     `json:"split_tasks"`
+	MaxChain    int     `json:"max_chain"`
+	ProbeVisits uint64  `json:"probe_visits"`
+	BuildMS     float64 `json:"build_ms"`
+	ProbeMS     float64 `json:"probe_ms"`
+}
+
 // JoinResponse is the body of a successful POST /join.
 type JoinResponse struct {
 	Algorithm string       `json:"algorithm"`
@@ -110,6 +123,8 @@ type JoinResponse struct {
 	// Rows is set by the "count" consumer; TopKeys by "topk".
 	Rows    *uint64     `json:"rows,omitempty"`
 	TopKeys []KeyWeight `json:"top_keys,omitempty"`
+	// JoinPhase holds join-phase internals for the CPU hash joins.
+	JoinPhase *JoinPhaseInfo `json:"join_phase,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -143,14 +158,29 @@ type HistBucket struct {
 	Count uint64  `json:"count"`
 }
 
+// JoinPhaseTotals aggregates join-phase internals across an algorithm's
+// successful requests: cumulative task/visit counters and build/probe CPU
+// time, plus the largest hash chain any request built. Only present for
+// algorithms that report join-phase stats (the CPU hash joins).
+type JoinPhaseTotals struct {
+	Tasks       uint64  `json:"tasks"`
+	SplitTasks  uint64  `json:"split_tasks"`
+	MaxChain    int     `json:"max_chain"`
+	ProbeVisits uint64  `json:"probe_visits"`
+	BuildMS     float64 `json:"build_ms"`
+	ProbeMS     float64 `json:"probe_ms"`
+}
+
 // AlgorithmStats is the cumulative per-algorithm service record: request
-// counts and a wall-clock latency histogram over successful joins.
+// counts, a wall-clock latency histogram over successful joins, and
+// aggregated join-phase internals where the algorithm reports them.
 type AlgorithmStats struct {
-	Count   uint64       `json:"count"`
-	Errors  uint64       `json:"errors"`
-	TotalMS float64      `json:"total_ms"`
-	MaxMS   float64      `json:"max_ms"`
-	Buckets []HistBucket `json:"buckets"`
+	Count     uint64           `json:"count"`
+	Errors    uint64           `json:"errors"`
+	TotalMS   float64          `json:"total_ms"`
+	MaxMS     float64          `json:"max_ms"`
+	Buckets   []HistBucket     `json:"buckets"`
+	JoinPhase *JoinPhaseTotals `json:"join_phase,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.

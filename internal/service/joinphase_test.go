@@ -1,0 +1,77 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestJoinPhaseStatsExposed pins the join-phase introspection contract: CPU
+// hash joins report per-request join_phase internals in the /join response,
+// and /stats accumulates them per algorithm across requests.
+func TestJoinPhaseStatsExposed(t *testing.T) {
+	srv := New(Config{ThreadBudget: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const n = 1 << 14
+	register(t, ts.URL, "r", GenerateSpec{N: n, Zipf: 0.8, Seed: 11, Stream: 0})
+	register(t, ts.URL, "s", GenerateSpec{N: n, Zipf: 0.8, Seed: 11, Stream: 1})
+
+	join := func(alg string) JoinResponse {
+		t.Helper()
+		status, raw := doJSON(t, "POST", ts.URL+"/join", JoinRequest{R: "r", S: "s", Algorithm: alg})
+		if status != http.StatusOK {
+			t.Fatalf("join %s: status %d: %s", alg, status, raw)
+		}
+		var resp JoinResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	const reps = 3
+	var wantTasks, wantVisits uint64
+	for i := 0; i < reps; i++ {
+		resp := join("cbase")
+		jp := resp.JoinPhase
+		if jp == nil {
+			t.Fatal("cbase join response missing join_phase")
+		}
+		if jp.Tasks <= 0 || jp.ProbeVisits == 0 {
+			t.Fatalf("join_phase has empty counters: %+v", jp)
+		}
+		if jp.BuildMS <= 0 || jp.ProbeMS <= 0 {
+			t.Fatalf("join_phase timing split not positive: %+v", jp)
+		}
+		wantTasks += uint64(jp.Tasks)
+		wantVisits += jp.ProbeVisits
+	}
+
+	// GPU joins run on the simulator and have no CPU join-phase internals.
+	if resp := join("gbase"); resp.JoinPhase != nil {
+		t.Errorf("gbase join response unexpectedly has join_phase: %+v", resp.JoinPhase)
+	}
+
+	st := getStats(t, ts.URL)
+	cb, ok := st.Algorithms["cbase"]
+	if !ok {
+		t.Fatal("/stats has no cbase entry")
+	}
+	tot := cb.JoinPhase
+	if tot == nil {
+		t.Fatal("/stats cbase entry missing join_phase totals")
+	}
+	if tot.Tasks != wantTasks || tot.ProbeVisits != wantVisits {
+		t.Errorf("join_phase totals = tasks %d visits %d, want tasks %d visits %d",
+			tot.Tasks, tot.ProbeVisits, wantTasks, wantVisits)
+	}
+	if tot.BuildMS <= 0 || tot.ProbeMS <= 0 || tot.MaxChain <= 0 {
+		t.Errorf("join_phase totals not accumulated: %+v", tot)
+	}
+	if gb, ok := st.Algorithms["gbase"]; ok && gb.JoinPhase != nil {
+		t.Errorf("gbase stats unexpectedly have join_phase totals: %+v", gb.JoinPhase)
+	}
+}

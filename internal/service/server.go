@@ -341,7 +341,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "join failed: %v", err)
 		return
 	}
-	s.rec.observe(string(alg), joinDur)
+	s.rec.observe(string(alg), joinDur, res.JoinPhase)
 
 	resp := JoinResponse{
 		Algorithm: string(alg),
@@ -355,6 +355,16 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, p := range res.Phases {
 		resp.Phases = append(resp.Phases, PhaseInfo{Name: p.Name, MS: float64(p.Duration) / float64(time.Millisecond)})
+	}
+	if jp := res.JoinPhase; jp != nil {
+		resp.JoinPhase = &JoinPhaseInfo{
+			Tasks:       jp.Tasks,
+			SplitTasks:  jp.SplitTasks,
+			MaxChain:    jp.MaxChain,
+			ProbeVisits: jp.ProbeVisits,
+			BuildMS:     float64(jp.BuildNs) / 1e6,
+			ProbeMS:     float64(jp.ProbeNs) / 1e6,
+		}
 	}
 	if sink != nil {
 		sink.collect()

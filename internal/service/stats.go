@@ -3,6 +3,8 @@ package service
 import (
 	"sync"
 	"time"
+
+	"skewjoin"
 )
 
 // latencyBounds are the histogram bucket upper bounds. Log-ish spacing
@@ -34,17 +36,33 @@ type latencyHist struct {
 	sum     time.Duration
 	max     time.Duration
 	buckets []uint64 // len(latencyBounds)+1; last is the overflow bucket
+	// jp aggregates join-phase internals of the successful requests that
+	// reported them (nil until the first one does).
+	jp *JoinPhaseTotals
 }
 
 func newLatencyHist() *latencyHist {
 	return &latencyHist{buckets: make([]uint64, len(latencyBounds)+1)}
 }
 
-func (h *latencyHist) observe(d time.Duration) {
+func (h *latencyHist) observe(d time.Duration, jp *skewjoin.JoinPhaseStats) {
 	h.count++
 	h.sum += d
 	if d > h.max {
 		h.max = d
+	}
+	if jp != nil {
+		if h.jp == nil {
+			h.jp = &JoinPhaseTotals{}
+		}
+		h.jp.Tasks += uint64(jp.Tasks)
+		h.jp.SplitTasks += uint64(jp.SplitTasks)
+		if jp.MaxChain > h.jp.MaxChain {
+			h.jp.MaxChain = jp.MaxChain
+		}
+		h.jp.ProbeVisits += jp.ProbeVisits
+		h.jp.BuildMS += float64(jp.BuildNs) / 1e6
+		h.jp.ProbeMS += float64(jp.ProbeNs) / 1e6
 	}
 	for i, b := range latencyBounds {
 		if d <= b {
@@ -70,6 +88,10 @@ func (h *latencyHist) snapshot() AlgorithmStats {
 		}
 		st.Buckets = append(st.Buckets, HistBucket{LEMS: le, Count: c})
 	}
+	if h.jp != nil {
+		jp := *h.jp
+		st.JoinPhase = &jp
+	}
 	return st
 }
 
@@ -94,9 +116,9 @@ func (r *algRecorder) histLocked(alg string) *latencyHist {
 	return h
 }
 
-func (r *algRecorder) observe(alg string, d time.Duration) {
+func (r *algRecorder) observe(alg string, d time.Duration, jp *skewjoin.JoinPhaseStats) {
 	r.mu.Lock()
-	r.histLocked(alg).observe(d)
+	r.histLocked(alg).observe(d, jp)
 	r.mu.Unlock()
 }
 

@@ -37,12 +37,14 @@ import (
 	"time"
 
 	"skewjoin/internal/cbase"
+	"skewjoin/internal/chainedtable"
 	"skewjoin/internal/csh"
 	"skewjoin/internal/exec"
 	"skewjoin/internal/gbase"
 	"skewjoin/internal/gpusim"
 	"skewjoin/internal/gsh"
 	"skewjoin/internal/gsmj"
+	"skewjoin/internal/joinphase"
 	"skewjoin/internal/npj"
 	"skewjoin/internal/oracle"
 	"skewjoin/internal/outbuf"
@@ -69,6 +71,10 @@ type (
 	ScatterMode = radix.ScatterMode
 	// SchedMode selects the CPU dynamic-task-queue implementation.
 	SchedMode = radix.SchedMode
+	// ProbeMode selects the CPU join phase's probe strategy.
+	ProbeMode = chainedtable.ProbeMode
+	// Layout selects the CPU join phase's build-table layout.
+	Layout = chainedtable.Layout
 )
 
 // Partition scatter strategies (Options.Scatter). All strategies produce
@@ -89,6 +95,26 @@ const (
 	SchedAtomic = radix.SchedAtomic
 	// SchedMutex is the fully mutex-guarded baseline queue.
 	SchedMutex = radix.SchedMutex
+)
+
+// Probe strategies (Options.Probe). Both produce identical output; the knob
+// exists for benchmarking.
+const (
+	// ProbeScalar probes one S tuple at a time (the default).
+	ProbeScalar = chainedtable.ProbeScalar
+	// ProbeGrouped advances up to 64 chain walks in lock-step so their
+	// dependent loads overlap.
+	ProbeGrouped = chainedtable.ProbeGrouped
+)
+
+// Build-table layouts (Options.Layout). Both produce identical output.
+const (
+	// LayoutChained is the paper's index-linked bucket-chained table (the
+	// default).
+	LayoutChained = chainedtable.LayoutChained
+	// LayoutCompact stores each bucket's entries contiguously, trading an
+	// extra build pass for sequential probe scans.
+	LayoutCompact = chainedtable.LayoutCompact
 )
 
 // Algorithm selects a join implementation.
@@ -157,6 +183,12 @@ type Options struct {
 	// Sched selects the CPU dynamic-task-queue implementation for Cbase
 	// and CSH (default SchedAtomic).
 	Sched SchedMode
+	// Probe selects the CPU join phase's probe strategy for Cbase, CSH and
+	// CbaseNPJ (default ProbeScalar). Output is identical across modes.
+	Probe ProbeMode
+	// Layout selects the CPU join phase's build-table layout for Cbase and
+	// CSH (default LayoutChained). Output is identical across layouts.
+	Layout Layout
 	// Context optionally bounds the run: when it is cancelled or its
 	// deadline passes, Join returns ctx.Err() instead of a result. For
 	// Cbase and CSH cancellation is honoured at phase boundaries and
@@ -179,6 +211,26 @@ type Phase struct {
 	Duration time.Duration
 }
 
+// JoinPhaseStats reports the internals of a CPU join (or probe) phase:
+// task counts, skew symptoms, and the build/probe CPU-time split summed
+// across workers (so the sums can exceed the phase's wall-clock on
+// multi-threaded runs).
+type JoinPhaseStats struct {
+	// Tasks is the number of join tasks drained, including probe
+	// sub-tasks created by splitting (0 for CbaseNPJ, which has no tasks).
+	Tasks int
+	// SplitTasks is the number of oversized tasks broken up.
+	SplitTasks int
+	// MaxChain is the longest hash chain (largest bucket) built.
+	MaxChain int
+	// ProbeVisits is the total bucket entries inspected while probing.
+	ProbeVisits uint64
+	// BuildNs is CPU time spent building hash tables, in nanoseconds.
+	BuildNs int64
+	// ProbeNs is CPU time spent probing, in nanoseconds.
+	ProbeNs int64
+}
+
 // Result is the outcome of a join run.
 type Result struct {
 	Algorithm Algorithm
@@ -194,6 +246,10 @@ type Result struct {
 	Total time.Duration
 	// Modelled is true when times come from the GPU cost simulator.
 	Modelled bool
+	// JoinPhase holds join-phase internals for the CPU hash joins (Cbase,
+	// CSH — where it covers the NM-join — and CbaseNPJ); nil for the GPU
+	// algorithms and SMJ.
+	JoinPhase *JoinPhaseStats
 }
 
 // Summary is a verifiable output digest: cardinality plus checksum.
@@ -234,32 +290,41 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 		res := cbase.Join(r, s, cbase.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
-			Scatter: opts.Scatter, Sched: opts.Sched, Ctx: ctx,
+			Scatter: opts.Scatter, Sched: opts.Sched,
+			Probe: opts.Probe, Layout: opts.Layout, Ctx: ctx,
 		})
 		if res.Canceled {
 			return Result{}, ctx.Err()
 		}
-		return wrap(alg, res.Summary, phases(res.Phases), false), nil
+		out := wrap(alg, res.Summary, phases(res.Phases), false)
+		out.JoinPhase = joinPhaseStats(res.Stats.Join)
+		return out, nil
 	case CbaseNPJ:
 		res := npj.Join(r, s, npj.Config{
-			Threads: opts.Threads, OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			Threads: opts.Threads, Probe: opts.Probe,
+			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
 			Ctx: ctx,
 		})
 		if res.Canceled {
 			return Result{}, ctx.Err()
 		}
-		return wrap(alg, res.Summary, phases(res.Phases), false), nil
+		out := wrap(alg, res.Summary, phases(res.Phases), false)
+		out.JoinPhase = &JoinPhaseStats{ProbeVisits: res.Stats.ProbeVisits}
+		return out, nil
 	case CSH:
 		res := csh.Join(r, s, csh.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			SampleRate: opts.SampleRate, SkewThreshold: opts.SkewThreshold,
 			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
-			Scatter: opts.Scatter, Sched: opts.Sched, Ctx: ctx,
+			Scatter: opts.Scatter, Sched: opts.Sched,
+			Probe: opts.Probe, Layout: opts.Layout, Ctx: ctx,
 		})
 		if res.Canceled {
 			return Result{}, ctx.Err()
 		}
-		return wrap(alg, res.Summary, phases(res.Phases), false), nil
+		out := wrap(alg, res.Summary, phases(res.Phases), false)
+		out.JoinPhase = joinPhaseStats(res.Stats.NM)
+		return out, nil
 	case Gbase:
 		res := gbase.Join(r, s, gbase.Config{Device: opts.Device, Flush: opts.Consumer})
 		if err := ctxErr(ctx); err != nil {
@@ -315,6 +380,19 @@ func wrap(alg Algorithm, sum outbuf.Summary, ph []Phase, modelled bool) Result {
 		res.Total += p.Duration
 	}
 	return res
+}
+
+// joinPhaseStats converts the internal join-phase stats into the public
+// mirror.
+func joinPhaseStats(st joinphase.Stats) *JoinPhaseStats {
+	return &JoinPhaseStats{
+		Tasks:       st.Tasks,
+		SplitTasks:  st.SplitTasks,
+		MaxChain:    st.MaxChain,
+		ProbeVisits: st.ProbeVisits,
+		BuildNs:     st.BuildNs,
+		ProbeNs:     st.ProbeNs,
+	}
 }
 
 func phases(ps []exec.Phase) []Phase {
