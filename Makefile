@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join experiments examples serve-smoke clean
+.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -53,6 +53,11 @@ bench-partition:
 # machine-readable perf baseline committed as BENCH_join.json.
 bench-join:
 	$(GO) run ./cmd/skewbench -exp join -repeats 7 -out BENCH_join.json
+
+# GPU-simulation A/B sweep (algorithm x skew x HostParallelism); writes
+# the machine-readable perf baseline committed as BENCH_gpu.json.
+bench-gpu:
+	$(GO) run ./cmd/skewbench -exp gpu -repeats 5 -out BENCH_gpu.json
 
 # Regenerate every table and figure of the paper (plus extensions).
 experiments:

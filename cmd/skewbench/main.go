@@ -2,15 +2,16 @@
 // Figures 4a/4b, Table I, the scale-up experiment and the headline speedup
 // summary — plus this repository's extension experiments: the §III skew
 // analysis, one-sided S skew (sskew), sort-vs-hash (sortvshash), per-join
-// memory footprints (memory) and the A/B sweeps of the two hot-path
-// overhauls (partition and join; excluded from "all" — run them explicitly,
-// typically via make bench-partition / make bench-join, which write
-// BENCH_partition.json / BENCH_join.json).
+// memory footprints (memory) and the A/B sweeps of the three hot-path
+// overhauls (partition, join and gpu; excluded from "all" — run them
+// explicitly, typically via make bench-partition / make bench-join /
+// make bench-gpu, which write BENCH_partition.json / BENCH_join.json /
+// BENCH_gpu.json).
 //
 // Usage:
 //
 //	skewbench [-exp fig1|fig4a|fig4b|table1|speedup|large|
-//	                analysis|sskew|sortvshash|memory|partition|join|all]
+//	                analysis|sskew|sortvshash|memory|partition|join|gpu|all]
 //	          [-n tuples] [-threads k] [-seed s] [-zipf list] [-shm KiB]
 //	          [-json] [-plot] [-out file.json]
 //
@@ -46,7 +47,7 @@ type plotter interface {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, or all")
+		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, gpu, or all")
 		tuples  = flag.Int("n", 0, "tuples per input table (default $SKEWJOIN_TUPLES or 262144)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
 		seed    = flag.Int64("seed", 42, "workload seed")
@@ -155,6 +156,9 @@ func run(name string, cfg bench.Config) (printer, bool, error) {
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	case "join":
 		rep, err := bench.JoinBench(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "gpu":
+		rep, err := bench.GPUBench(cfg)
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	default:
 		return nil, false, fmt.Errorf("unknown experiment %q", name)

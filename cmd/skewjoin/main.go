@@ -45,6 +45,7 @@ func main() {
 		rPath   = flag.String("r", "", "path to table R (binary relation file)")
 		sPath   = flag.String("s", "", "path to table S (binary relation file)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
+		hostpar = flag.Int("hostpar", 0, "host workers simulating GPU thread blocks (0 = serial; output is identical)")
 		verify  = flag.Bool("verify", true, "check the output against the oracle")
 		trace   = flag.Bool("gputrace", false, "print the simulator's per-kernel launch records (GPU algorithms)")
 	)
@@ -69,7 +70,7 @@ func main() {
 	}
 
 	if *alg == "all" {
-		compareAll(r, s, *threads, *verify)
+		compareAll(r, s, *threads, *hostpar, *verify)
 		return
 	}
 
@@ -77,11 +78,11 @@ func main() {
 	var res skewjoin.Result
 	if *trace && algorithm.IsGPU() {
 		// Run through the internal packages to reach the launch records.
-		trc, tres := runWithTrace(algorithm, r, s)
+		trc, tres := runWithTrace(algorithm, r, s, *hostpar)
 		res = tres
 		defer printTrace(trc)
 	} else {
-		res, err = skewjoin.Join(algorithm, r, s, &skewjoin.Options{Threads: *threads})
+		res, err = skewjoin.Join(algorithm, r, s, &skewjoin.Options{Threads: *threads, HostParallelism: *hostpar})
 		if err != nil {
 			fatal(err)
 		}
@@ -118,13 +119,13 @@ func fatal(err error) {
 
 // compareAll runs every implementation (including extensions) on the same
 // workload and prints a comparison table.
-func compareAll(r, s skewjoin.Relation, threads int, verify bool) {
+func compareAll(r, s skewjoin.Relation, threads, hostpar int, verify bool) {
 	want := skewjoin.Expected(r, s)
 	fmt.Printf("%d x %d tuples, %d expected results\n\n", r.Len(), s.Len(), want.Matches)
 	fmt.Printf("%-11s %12s %8s %s\n", "algorithm", "total", "kind", "phases")
 	failed := false
 	for _, alg := range skewjoin.ExtendedAlgorithms() {
-		res, err := skewjoin.Join(alg, r, s, &skewjoin.Options{Threads: threads})
+		res, err := skewjoin.Join(alg, r, s, &skewjoin.Options{Threads: threads, HostParallelism: hostpar})
 		if err != nil {
 			fatal(err)
 		}
@@ -152,7 +153,8 @@ func compareAll(r, s skewjoin.Relation, threads int, verify bool) {
 // runWithTrace executes a GPU algorithm via its internal package so the
 // simulator's launch records are available, and adapts the outcome to the
 // public Result shape.
-func runWithTrace(alg skewjoin.Algorithm, r, s skewjoin.Relation) ([]gpusim.LaunchRecord, skewjoin.Result) {
+func runWithTrace(alg skewjoin.Algorithm, r, s skewjoin.Relation, hostpar int) ([]gpusim.LaunchRecord, skewjoin.Result) {
+	dev := gpusim.Config{HostParallelism: hostpar}
 	adapt := func(sumCount, sumChecksum uint64, phases []exec.Phase) skewjoin.Result {
 		res := skewjoin.Result{
 			Algorithm: alg,
@@ -168,13 +170,13 @@ func runWithTrace(alg skewjoin.Algorithm, r, s skewjoin.Relation) ([]gpusim.Laun
 	}
 	switch alg {
 	case skewjoin.Gbase:
-		gr := gbase.Join(r, s, gbase.Config{})
+		gr := gbase.Join(r, s, gbase.Config{Device: dev})
 		return gr.Trace, adapt(gr.Summary.Count, gr.Summary.Checksum, gr.Phases)
 	case skewjoin.GSH:
-		gr := gsh.Join(r, s, gsh.Config{})
+		gr := gsh.Join(r, s, gsh.Config{Device: dev})
 		return gr.Trace, adapt(gr.Summary.Count, gr.Summary.Checksum, gr.Phases)
 	case skewjoin.GSMJ:
-		gr := gsmj.Join(r, s, gsmj.Config{})
+		gr := gsmj.Join(r, s, gsmj.Config{Device: dev})
 		return gr.Trace, adapt(gr.Summary.Count, gr.Summary.Checksum, gr.Phases)
 	default:
 		fatal(fmt.Errorf("-gputrace requires a GPU algorithm, got %q", alg))

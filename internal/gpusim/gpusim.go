@@ -29,11 +29,12 @@
 package gpusim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"skewjoin/internal/outbuf"
+	"skewjoin/internal/sanitize"
 )
 
 // Config describes the simulated device. The defaults model the paper's
@@ -62,6 +63,18 @@ type Config struct {
 	// §II-B, precisely because this link is so much slower than the
 	// 1555 GB/s global memory).
 	PCIeBandwidth float64
+
+	// HostParallelism is the number of host worker goroutines that
+	// execute a launch's thread blocks (functional execution plus cost
+	// accounting). 0 or negative — the default — runs blocks serially on
+	// the calling goroutine, the seed behaviour. N > 0 runs blocks on a
+	// pool of min(N, blocks) workers claiming block chunks from a
+	// lock-free fetch-add queue (internal/exec); every block charges a
+	// private cost accumulator and stages its output on a private tape,
+	// and the results are merged in block-index order, so modelled
+	// cycles, Stats and output are bit-identical to serial execution.
+	// The knob changes only host wall-clock time, never modelled time.
+	HostParallelism int
 }
 
 // A100 returns the configuration modelling the paper's GPU.
@@ -164,6 +177,22 @@ type Stats struct {
 	DivergenceWasted uint64 // lane-slots lost to divergence
 }
 
+// add folds another accumulator into s. Every field is an integer sum, so
+// folding per-block deltas in any order gives identical totals; the
+// simulator nevertheless merges in block-index order.
+func (s *Stats) add(o Stats) {
+	s.Launches += o.Launches
+	s.Blocks += o.Blocks
+	s.GlobalBytes += o.GlobalBytes
+	s.RandomAccesses += o.RandomAccesses
+	s.DependentSteps += o.DependentSteps
+	s.Atomics += o.Atomics
+	s.Barriers += o.Barriers
+	s.WarpIterations += o.WarpIterations
+	s.LaneIterations += o.LaneIterations
+	s.DivergenceWasted += o.DivergenceWasted
+}
+
 // LaunchRecord describes one kernel launch for breakdowns and tests.
 type LaunchRecord struct {
 	Name       string
@@ -178,13 +207,39 @@ type LaunchRecord struct {
 
 // Device is one simulated GPU. A Device accumulates modelled time, output
 // summaries and stats across kernel launches; use one Device per join run.
-// Not safe for concurrent launches.
+// Not safe for concurrent launches: overlapping Launch, Serialize or
+// Transfer calls corrupt the accumulated state, and under the `sanitize`
+// build tag they are detected and abort with a diagnostic panic. (With
+// Config.HostParallelism > 0 a single Launch fans its blocks out over
+// host workers internally; that is the supported way to parallelise.)
 type Device struct {
 	cfg     Config
 	records []LaunchRecord
 	stats   Stats
 	bufs    []*outbuf.Buffer // one per SM, shared by blocks scheduled there
 	cycles  float64
+
+	smScratch []float64    // schedule()'s per-SM min-heap, reused across launches
+	busy      atomic.Int32 // sanitize-only overlapping-call detector
+}
+
+// enter flags the device busy for one accounting call. Under the sanitize
+// build tag an overlapping call — two goroutines sharing one Device —
+// aborts loudly instead of silently corrupting records, stats and output
+// rings. Without the tag the check compiles away.
+func (d *Device) enter(api string) {
+	if sanitize.Enabled {
+		if !d.busy.CompareAndSwap(0, 1) {
+			sanitize.Failf("gpusim: concurrent %s on one Device (a Device is single-owner; use Config.HostParallelism to parallelise a launch)", api)
+		}
+	}
+}
+
+// leave clears the busy flag set by enter.
+func (d *Device) leave() {
+	if sanitize.Enabled {
+		d.busy.Store(0)
+	}
 }
 
 // NewDevice returns a device with the given configuration (zero fields are
@@ -196,6 +251,7 @@ func NewDevice(cfg Config) *Device {
 	for i := range d.bufs {
 		d.bufs[i] = outbuf.New(0)
 	}
+	d.smScratch = make([]float64, cfg.NumSMs)
 	return d
 }
 
@@ -210,33 +266,42 @@ func (d *Device) PartitionCapacityTuples() int {
 }
 
 // Block is the kernel-side handle: identity plus cost accounting plus the
-// output buffer of the SM the block runs on.
+// output destination — the SM's shared buffer in serial execution, a
+// private staging tape in host-parallel execution. A Block is only valid
+// for the duration of the kernel call; kernels must not retain it.
 type Block struct {
 	Idx    int
-	Out    *outbuf.Buffer
+	Out    outbuf.Writer
 	dev    *Device
 	cycles float64
+	stats  Stats
 }
 
 // Launch runs kernel once per block, schedules the blocks greedily over
 // the SM array, accounts the launch under phase, and returns the modelled
-// launch duration. Blocks execute functionally in index order; modelled
-// cycles are whatever they charged.
+// launch duration. Modelled cycles are whatever the blocks charged.
+//
+// With Config.HostParallelism <= 0 blocks execute functionally in index
+// order on the calling goroutine. With N > 0 they execute on a pool of N
+// host workers; each block's cost, stats and output are staged privately
+// and merged in block-index order (see hostparallel.go), so the launch's
+// records, stats and output are bit-identical either way. Kernels must
+// confine functional side effects to the Block (cost methods, Out) and
+// per-block state — e.g. write to slot Idx of a results slice — never to
+// memory shared across blocks.
 func (d *Device) Launch(phase, name string, blocks int, kernel func(b *Block)) time.Duration {
+	d.enter("Launch")
+	defer d.leave()
 	cfg := d.cfg
 	cycles := make([]float64, blocks)
 	var sum, maxb float64
-	for i := 0; i < blocks; i++ {
-		b := &Block{Idx: i, Out: d.bufs[i%cfg.NumSMs], dev: d}
-		kernel(b)
-		cycles[i] = b.cycles
-		sum += b.cycles
-		if b.cycles > maxb {
-			maxb = b.cycles
-		}
+	if workers := hostWorkers(cfg.HostParallelism, blocks); workers > 0 {
+		sum, maxb = d.runBlocksParallel(workers, blocks, kernel, cycles)
+	} else {
+		sum, maxb = d.runBlocksSerial(blocks, kernel, cycles)
 	}
 
-	makespan := schedule(cycles, cfg.NumSMs) + cfg.KernelLaunchCycles
+	makespan := scheduleInto(d.smScratch, cycles) + cfg.KernelLaunchCycles
 	ideal := sum/float64(cfg.NumSMs) + cfg.KernelLaunchCycles
 	imb := 1.0
 	if ideal > 0 {
@@ -253,20 +318,59 @@ func (d *Device) Launch(phase, name string, blocks int, kernel func(b *Block)) t
 	return dur
 }
 
+// runBlocksSerial executes the launch's blocks in index order on the
+// calling goroutine — the seed path. Blocks write straight into their
+// SM's shared output ring; per-block stats fold into the device after
+// each block. One Block handle is reused across iterations so the loop's
+// steady-state allocation count stays pinned (see the AllocsPerRun test).
+//
+//skewlint:hotpath
+func (d *Device) runBlocksSerial(blocks int, kernel func(b *Block), cycles []float64) (sum, maxb float64) {
+	b := &Block{dev: d}
+	for i := 0; i < blocks; i++ {
+		b.Idx = i
+		b.Out = d.bufs[i%d.cfg.NumSMs]
+		b.cycles = 0
+		b.stats = Stats{}
+		kernel(b)
+		cycles[i] = b.cycles
+		sum += b.cycles
+		if b.cycles > maxb {
+			maxb = b.cycles
+		}
+		d.stats.add(b.stats)
+	}
+	return sum, maxb
+}
+
 // schedule assigns block cycle costs to SMs in launch order, each to the
 // earliest-free SM, and returns the makespan.
 func schedule(cycles []float64, sms int) float64 {
+	return scheduleInto(make([]float64, sms), cycles)
+}
+
+// scheduleInto is schedule with a caller-provided per-SM scratch heap
+// (one slot per SM, overwritten), so the per-launch hot path allocates
+// nothing. The scratch is kept as a binary min-heap on finish time: each
+// block lands on the root (the earliest-free SM) and one sift-down
+// restores the heap — no container/heap interface boxing, no Fix
+// indirection. Ties between equally loaded SMs may resolve differently
+// than another heap implementation would, but the resulting multiset of
+// SM finish times (and hence the makespan) is identical: adding a block
+// to either of two bitwise-equal loads produces the same multiset.
+func scheduleInto(sm []float64, cycles []float64) float64 {
 	if len(cycles) == 0 {
 		return 0
 	}
-	h := make(smHeap, sms)
-	heap.Init(&h)
+	for i := range sm {
+		sm[i] = 0
+	}
 	for _, c := range cycles {
-		h[0] += c
-		heap.Fix(&h, 0)
+		sm[0] += c
+		siftDown(sm)
 	}
 	var makespan float64
-	for _, t := range h {
+	for _, t := range sm {
 		if t > makespan {
 			makespan = t
 		}
@@ -274,18 +378,24 @@ func schedule(cycles []float64, sms int) float64 {
 	return makespan
 }
 
-type smHeap []float64
-
-func (h smHeap) Len() int            { return len(h) }
-func (h smHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h smHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *smHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *smHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// siftDown restores the min-heap property of sm after the root grew.
+func siftDown(sm []float64) {
+	i := 0
+	for {
+		l := 2*i + 1
+		small := i
+		if l < len(sm) && sm[l] < sm[small] {
+			small = l
+		}
+		if r := l + 1; r < len(sm) && sm[r] < sm[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		sm[i], sm[small] = sm[small], sm[i]
+		i = small
+	}
 }
 
 // Serialize accounts a device-wide serialisation: work that cannot overlap
@@ -293,6 +403,14 @@ func (h *smHeap) Pop() interface{} {
 // appending to the same array cursor). The cycles are added to the
 // makespan directly and recorded like a launch.
 func (d *Device) Serialize(phase, name string, cycles float64) time.Duration {
+	d.enter("Serialize")
+	defer d.leave()
+	return d.serialize(phase, name, cycles)
+}
+
+// serialize is Serialize without the overlap guard, for internal reuse by
+// guarded entry points (Transfer wraps it so the guard is not re-entered).
+func (d *Device) serialize(phase, name string, cycles float64) time.Duration {
 	if cycles <= 0 {
 		return 0
 	}
@@ -309,11 +427,13 @@ func (d *Device) Serialize(phase, name string, cycles float64) time.Duration {
 // size over the PCIe link, recorded under the given phase. Transfers do
 // not overlap with kernels in this model.
 func (d *Device) Transfer(phase, name string, bytes int) time.Duration {
+	d.enter("Transfer")
+	defer d.leave()
 	if bytes <= 0 {
 		return 0
 	}
 	cycles := float64(bytes) / d.cfg.PCIeBandwidth * d.cfg.ClockHz
-	return d.Serialize(phase, name, cycles)
+	return d.serialize(phase, name, cycles)
 }
 
 // Elapsed returns the total modelled time across all launches so far.
@@ -385,7 +505,7 @@ func (b *Block) GlobalCoalesced(bytes int) {
 		return
 	}
 	b.cycles += float64(bytes) / b.dev.cfg.bytesPerCyclePerSM()
-	b.dev.stats.GlobalBytes += uint64(bytes)
+	b.stats.GlobalBytes += uint64(bytes)
 }
 
 // GlobalRandom charges n independent scattered global accesses (latency
@@ -395,7 +515,7 @@ func (b *Block) GlobalRandom(n int) {
 		return
 	}
 	b.cycles += float64(n) * b.dev.cfg.RandomAccessCost / b.dev.cfg.concurrentWarps()
-	b.dev.stats.RandomAccesses += uint64(n)
+	b.stats.RandomAccesses += uint64(n)
 }
 
 // GlobalDependent charges n pointer-chasing global accesses where each
@@ -406,7 +526,7 @@ func (b *Block) GlobalDependent(n int) {
 		return
 	}
 	b.cycles += float64(n) * b.dev.cfg.DependentAccessCost
-	b.dev.stats.DependentSteps += uint64(n)
+	b.stats.DependentSteps += uint64(n)
 }
 
 // Shared charges n shared-memory warp operations.
@@ -431,7 +551,7 @@ func (b *Block) Atomic(n int) {
 		return
 	}
 	b.cycles += float64(n) * b.dev.cfg.AtomicCost
-	b.dev.stats.Atomics += uint64(n)
+	b.stats.Atomics += uint64(n)
 }
 
 // Barrier charges n block-wide __syncthreads barriers.
@@ -440,7 +560,7 @@ func (b *Block) Barrier(n int) {
 		return
 	}
 	b.cycles += float64(n) * b.dev.cfg.BarrierCost
-	b.dev.stats.Barriers += uint64(n)
+	b.stats.Barriers += uint64(n)
 }
 
 // UniformWork charges processing of n items where every item costs perItem
@@ -452,8 +572,8 @@ func (b *Block) UniformWork(n int, perItem float64) {
 	}
 	warps := (n + b.dev.cfg.WarpSize - 1) / b.dev.cfg.WarpSize
 	b.cycles += float64(warps) * perItem / b.dev.cfg.concurrentWarps()
-	b.dev.stats.WarpIterations += uint64(warps)
-	b.dev.stats.LaneIterations += uint64(n)
+	b.stats.WarpIterations += uint64(warps)
+	b.stats.LaneIterations += uint64(n)
 }
 
 // WarpLoop charges a SIMT loop with per-lane trip counts: lane i of the
@@ -480,8 +600,8 @@ func (b *Block) WarpLoop(trips []int, perIter float64) int {
 		warpIters += max
 	}
 	b.cycles += float64(warpIters) * perIter / cfg.concurrentWarps()
-	b.dev.stats.WarpIterations += uint64(warpIters)
-	b.dev.stats.LaneIterations += uint64(laneIters)
+	b.stats.WarpIterations += uint64(warpIters)
+	b.stats.LaneIterations += uint64(laneIters)
 	// Wasted lane-slots: full-warp groups only (a ragged tail is occupancy,
 	// not divergence).
 	for lo := 0; lo+ws <= len(trips); lo += ws {
@@ -493,7 +613,7 @@ func (b *Block) WarpLoop(trips []int, perIter float64) int {
 				max = t
 			}
 		}
-		b.dev.stats.DivergenceWasted += uint64(max*ws - sum)
+		b.stats.DivergenceWasted += uint64(max*ws - sum)
 	}
 	return warpIters
 }

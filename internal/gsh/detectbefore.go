@@ -127,8 +127,17 @@ func partitionWithCheck(dev *gpusim.Device, tuples []relation.Tuple, idOf map[re
 	}
 	var total time.Duration
 	totalSkewed := 0
+	// Per-block staging for the functional side effects (pass 0 only):
+	// each block records its chunk's skewed payloads in a private slot and
+	// the host merges the slots in block-index order after the launch, so
+	// the per-key array order matches serial execution exactly.
+	type chunkOut struct {
+		skewed int
+		perKey [][]relation.Payload // indexed like `skewed`
+	}
 	for pass := 0; pass < 2; pass++ {
 		charge := pass == 0 // collect the skewed tuples only once
+		outs := make([]chunkOut, blocks)
 		total += dev.Launch("partition", "gsh-partition-checked", blocks, func(b *gpusim.Block) {
 			lo := b.Idx * chunk
 			if lo >= n {
@@ -170,18 +179,29 @@ func partitionWithCheck(dev *gpusim.Device, tuples []relation.Tuple, idOf map[re
 			}
 			b.UniformWork(mixedWarpWork, 4)
 			if charge {
-				totalSkewed += skewedInChunk
+				o := &outs[b.Idx]
+				o.skewed = skewedInChunk
+				o.perKey = make([][]relation.Payload, len(skewed))
 				for _, tp := range tuples[lo:hi] {
 					if id, ok := idOf[tp.Key]; ok {
-						if isR {
-							skewed[id].rps = append(skewed[id].rps, tp.Payload)
-						} else {
-							skewed[id].sps = append(skewed[id].sps, tp.Payload)
-						}
+						o.perKey[id] = append(o.perKey[id], tp.Payload)
 					}
 				}
 			}
 		})
+		if charge {
+			for bi := range outs {
+				o := &outs[bi]
+				totalSkewed += o.skewed
+				for id, ps := range o.perKey {
+					if isR {
+						skewed[id].rps = append(skewed[id].rps, ps...)
+					} else {
+						skewed[id].sps = append(skewed[id].sps, ps...)
+					}
+				}
+			}
+		}
 	}
 	// The skewed appends all bump a handful of per-key cursors, so the
 	// atomics contend on the same addresses and serialise device-wide —

@@ -342,23 +342,24 @@ func detectAndDivide(dev *gpusim.Device, cfg Config, pr, ps *radix.Partitioned, 
 		return pairs, nil, 0, 0
 	}
 
-	// Phase 2: one detection block per large partition side.
+	// Phase 2: one detection block per large partition side. Each block
+	// writes its top-k into a private per-task slot; the union into the
+	// pair's key set happens host-side in task order, so the kernel has no
+	// cross-block side effects and the key order is execution-independent.
 	type detTask struct {
-		lp    *largePair
-		part  []relation.Tuple
-		merge bool // second side of the same pair: union the keys
+		lp   *largePair
+		part []relation.Tuple
 	}
 	var tasks []detTask
 	for _, lp := range large {
-		first := true
 		if pr.Size(lp.part) > capacity {
-			tasks = append(tasks, detTask{lp: lp, part: pr.Part(lp.part), merge: !first})
-			first = false
+			tasks = append(tasks, detTask{lp: lp, part: pr.Part(lp.part)})
 		}
 		if ps.Size(lp.part) > capacity {
-			tasks = append(tasks, detTask{lp: lp, part: ps.Part(lp.part), merge: !first})
+			tasks = append(tasks, detTask{lp: lp, part: ps.Part(lp.part)})
 		}
 	}
+	topk := make([][]freqtable.KeyCount, len(tasks))
 	detectDur = dev.Launch("detect", "gsh-detect", len(tasks), func(b *gpusim.Block) {
 		t := tasks[b.Idx]
 		stride := int(1 / cfg.SampleRate)
@@ -376,29 +377,40 @@ func detectAndDivide(dev *gpusim.Device, cfg Config, pr, ps *radix.Partitioned, 
 		b.GlobalRandom(sampled)
 		b.Shared(3 * sampled)
 		b.Compute(2 * counter.Distinct())
-		for _, kc := range counter.TopK(cfg.TopK) {
+		topk[b.Idx] = counter.TopK(cfg.TopK)
+	})
+	for i := range tasks {
+		lp := tasks[i].lp
+		for _, kc := range topk[i] {
 			dup := false
-			for _, k := range t.lp.keys {
+			for _, k := range lp.keys {
 				if k == kc.Key {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				t.lp.keys = append(t.lp.keys, kc.Key)
+				lp.keys = append(lp.keys, kc.Key)
 			}
 		}
-	})
+	}
 
 	// Phase 3: divide each large pair. Chunk-parallel over the partition:
 	// the extra read+write of large partitions is the "additional copy
-	// operation" whose cost the high bandwidth keeps modest.
+	// operation" whose cost the high bandwidth keeps modest. Each chunk's
+	// block classifies into private per-task slots; the appends to the
+	// shared per-key arrays and normal partitions happen host-side in task
+	// order, so the tuple order is identical however the blocks ran.
 	type divTask struct {
 		lp    *largePair
 		part  []relation.Tuple
 		lo    int
 		isR   bool
 		local []*skewedKey // per-pair skewed key objects, indexed like lp.keys
+	}
+	type divOut struct {
+		perKey [][]relation.Payload // diverted payloads, indexed like lp.keys
+		normal []relation.Tuple
 	}
 	perPair := make(map[*largePair][]*skewedKey, len(large))
 	for _, lp := range large {
@@ -423,8 +435,10 @@ func detectAndDivide(dev *gpusim.Device, cfg Config, pr, ps *radix.Partitioned, 
 			dtasks = append(dtasks, divTask{lp: lp, part: ps.Part(lp.part), lo: lo, isR: false, local: perPair[lp]})
 		}
 	}
+	douts := make([]divOut, len(dtasks))
 	divideDur = dev.Launch("divide", "gsh-divide", len(dtasks), func(b *gpusim.Block) {
 		t := dtasks[b.Idx]
+		o := &douts[b.Idx]
 		hi := t.lo + divChunk
 		if hi > len(t.part) {
 			hi = len(t.part)
@@ -435,28 +449,37 @@ func detectAndDivide(dev *gpusim.Device, cfg Config, pr, ps *radix.Partitioned, 
 		b.UniformWork(c, float64(1+len(t.lp.keys)))
 		b.GlobalCoalesced(c * relation.TupleSize) // write (array or normal partition)
 		b.Atomic(1 + len(t.lp.keys))              // per-chunk cursor reservations
+		o.perKey = make([][]relation.Payload, len(t.lp.keys))
 		for _, tp := range t.part[t.lo:hi] {
 			diverted := false
 			for i, k := range t.lp.keys {
 				if tp.Key == k {
-					if t.isR {
-						t.local[i].rps = append(t.local[i].rps, tp.Payload)
-					} else {
-						t.local[i].sps = append(t.local[i].sps, tp.Payload)
-					}
+					o.perKey[i] = append(o.perKey[i], tp.Payload)
 					diverted = true
 					break
 				}
 			}
 			if !diverted {
-				if t.isR {
-					normalR[t.lp] = append(normalR[t.lp], tp)
-				} else {
-					normalS[t.lp] = append(normalS[t.lp], tp)
-				}
+				o.normal = append(o.normal, tp)
 			}
 		}
 	})
+	for ti := range dtasks {
+		t := &dtasks[ti]
+		o := &douts[ti]
+		for i := range t.lp.keys {
+			if t.isR {
+				t.local[i].rps = append(t.local[i].rps, o.perKey[i]...)
+			} else {
+				t.local[i].sps = append(t.local[i].sps, o.perKey[i]...)
+			}
+		}
+		if t.isR {
+			normalR[t.lp] = append(normalR[t.lp], o.normal...)
+		} else {
+			normalS[t.lp] = append(normalS[t.lp], o.normal...)
+		}
+	}
 	for _, lp := range large {
 		pairs = append(pairs, pair{r: normalR[lp], s: normalS[lp]})
 	}

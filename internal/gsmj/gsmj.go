@@ -276,10 +276,14 @@ func collectTasks(sr, ss []relation.Tuple, loKey, hiKey uint64, rc *runCollector
 // product except the tiled ones (which were already peeled into their own
 // tasks — they cannot appear here because tiling removed them from the
 // range task's bounds). Returns the number of results emitted.
-func emitRuns(rRange, sRange []relation.Tuple, tile int, out *outbuf.Buffer) uint64 {
+//
+// Run payloads are staged in an append-only arena rather than a reused
+// scratch slice: a Writer may retain the run slice past the call (the
+// host-parallel Tape does), so earlier runs must never be overwritten.
+func emitRuns(rRange, sRange []relation.Tuple, tile int, out outbuf.Writer) uint64 {
 	before := out.Count()
 	ri, si := 0, 0
-	var rps []relation.Payload
+	var arena []relation.Payload
 	for ri < len(rRange) && si < len(sRange) {
 		rk, sk := rRange[ri].Key, sRange[si].Key
 		switch {
@@ -297,10 +301,11 @@ func emitRuns(rRange, sRange []relation.Tuple, tile int, out *outbuf.Buffer) uin
 			for sEnd < len(sRange) && sRange[sEnd].Key == key {
 				sEnd++
 			}
-			rps = rps[:0]
+			start := len(arena)
 			for _, t := range rRange[ri:rEnd] {
-				rps = append(rps, t.Payload)
+				arena = append(arena, t.Payload)
 			}
+			rps := arena[start:len(arena):len(arena)]
 			for _, t := range sRange[si:sEnd] {
 				out.PushRun(key, rps, t.Payload)
 			}

@@ -1,0 +1,48 @@
+package gsmj
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"skewjoin/internal/gpusim"
+	"skewjoin/internal/oracle"
+)
+
+// TestHostParallelismOutputInvariant is the golden variant sweep for the
+// host-parallel simulator knob, mirroring internal/cbase/variants_test.go.
+// GSMJ's merge kernel emits equal-key runs through an append-only arena
+// whose slices a staging tape retains, so the sweep covers both skew
+// extremes (uniform: many range merges; full skew: tiled giant runs) and
+// demands a bit-identical match with serial execution — summary, phases,
+// launch trace and stats.
+func TestHostParallelismOutputInvariant(t *testing.T) {
+	for _, theta := range []float64{0, 1.0} {
+		r, s := workload(t, 20000, theta, 37)
+		want := oracle.Expected(r, s)
+		var base Result
+		for _, hp := range []int{0, 1, 4} {
+			cfg := Config{Device: gpusim.Config{
+				NumSMs: 16, SharedMemBytes: 4 << 10, HostParallelism: hp,
+			}}
+			res := Join(r, s, cfg)
+			name := fmt.Sprintf("theta=%g/hostpar=%d", theta, hp)
+			if res.Summary != want {
+				t.Fatalf("%s: summary %+v, oracle %+v", name, res.Summary, want)
+			}
+			if hp == 0 {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Phases, base.Phases) {
+				t.Errorf("%s: phases differ from serial\ngot:  %+v\nwant: %+v", name, res.Phases, base.Phases)
+			}
+			if !reflect.DeepEqual(res.Trace, base.Trace) {
+				t.Errorf("%s: launch trace differs from serial", name)
+			}
+			if res.Stats != base.Stats {
+				t.Errorf("%s: stats differ from serial\ngot:  %+v\nwant: %+v", name, res.Stats, base.Stats)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package outbuf
+
+import "skewjoin/internal/relation"
+
+// Writer is the result-emission interface shared by the overwriting ring
+// Buffer and the staging Tape. GPU kernels write through it so that the
+// simulator can swap the block's output destination: in serial execution a
+// block writes straight into its SM's shared Buffer; in host-parallel
+// execution it writes into a private Tape that is later replayed into the
+// shared Buffer in block-index order.
+type Writer interface {
+	Push(k relation.Key, pr, ps relation.Payload)
+	PushRun(k relation.Key, rps []relation.Payload, ps relation.Payload)
+	PushRunS(k relation.Key, pr relation.Payload, sps []relation.Payload)
+	PushBatch(rs []Result)
+	Count() uint64
+}
+
+var (
+	_ Writer = (*Buffer)(nil)
+	_ Writer = (*Tape)(nil)
+)
+
+// Tape op kinds. Consecutive single results coalesce into one opSingles
+// entry so a probe loop's per-match Pushes cost one op record, not one per
+// result.
+const (
+	opSingles = iota // singles[Lo:Hi] pushed one by one
+	opRunR           // PushRun(Key, Run, PS)
+	opRunS           // PushRunS(Key, PR, Run)
+)
+
+type tapeOp struct {
+	kind   uint8
+	lo, hi int // singles range (opSingles only)
+	key    relation.Key
+	pr, ps relation.Payload
+	run    []relation.Payload // retained caller slice (opRunR/opRunS)
+}
+
+// Tape records a sequence of emit operations so they can be replayed into
+// a Buffer later, reproducing exactly the ring writes, count, checksum and
+// flush batches the same operations would have produced if applied
+// directly. One Tape is owned by one simulated thread block during a
+// host-parallel kernel launch; the simulator replays the tapes in
+// block-index order to make parallel execution bit-identical to serial.
+//
+// Run operations (PushRun/PushRunS) retain the payload slice instead of
+// copying it — the skew fast paths stay O(1) per call — so callers must
+// not mutate those slices before Replay. Individually pushed results are
+// buffered on the tape, which makes its memory proportional to the
+// block's individually emitted output (runs stay cheap); that is the cost
+// of deferring the shared ring writes until the deterministic merge.
+type Tape struct {
+	ops     []tapeOp
+	singles []Result
+	count   uint64
+}
+
+// Push records one result.
+func (t *Tape) Push(k relation.Key, pr, ps relation.Payload) {
+	t.singles = append(t.singles, Result{Key: k, PayloadR: pr, PayloadS: ps})
+	t.extendSingles(1)
+}
+
+// PushBatch records a staged batch of heterogeneous results. The batch
+// slice is the caller's scratch: its contents are copied.
+func (t *Tape) PushBatch(rs []Result) {
+	if len(rs) == 0 {
+		return
+	}
+	t.singles = append(t.singles, rs...)
+	t.extendSingles(len(rs))
+}
+
+// extendSingles grows the trailing opSingles entry by n results, creating
+// it if the last op is not a singles run ending at the buffer tail.
+func (t *Tape) extendSingles(n int) {
+	t.count += uint64(n)
+	end := len(t.singles)
+	if k := len(t.ops); k > 0 && t.ops[k-1].kind == opSingles && t.ops[k-1].hi == end-n {
+		t.ops[k-1].hi = end
+		return
+	}
+	t.ops = append(t.ops, tapeOp{kind: opSingles, lo: end - n, hi: end})
+}
+
+// PushRun records a run of results matching one S tuple (see
+// Buffer.PushRun). rps is retained, not copied.
+func (t *Tape) PushRun(k relation.Key, rps []relation.Payload, ps relation.Payload) {
+	if len(rps) == 0 {
+		return
+	}
+	t.count += uint64(len(rps))
+	t.ops = append(t.ops, tapeOp{kind: opRunR, key: k, ps: ps, run: rps})
+}
+
+// PushRunS records a run of results matching one R tuple (see
+// Buffer.PushRunS). sps is retained, not copied.
+func (t *Tape) PushRunS(k relation.Key, pr relation.Payload, sps []relation.Payload) {
+	if len(sps) == 0 {
+		return
+	}
+	t.count += uint64(len(sps))
+	t.ops = append(t.ops, tapeOp{kind: opRunS, key: k, pr: pr, run: sps})
+}
+
+// Count returns the number of results recorded so far.
+func (t *Tape) Count() uint64 { return t.count }
+
+// Replay applies the recorded operations to dst in record order. The
+// resulting ring contents, cursor, count, checksum and flush callbacks are
+// bit-identical to issuing the original calls against dst directly:
+// a singles run replays through PushBatch, which performs the same
+// per-result ring writes and wrap-time flushes as individual Pushes.
+func (t *Tape) Replay(dst *Buffer) {
+	for i := range t.ops {
+		op := &t.ops[i]
+		switch op.kind {
+		case opSingles:
+			dst.PushBatch(t.singles[op.lo:op.hi])
+		case opRunR:
+			dst.PushRun(op.key, op.run, op.ps)
+		case opRunS:
+			dst.PushRunS(op.key, op.pr, op.run)
+		}
+	}
+}
+
+// Reset clears the tape for reuse, keeping its capacity.
+func (t *Tape) Reset() {
+	t.ops = t.ops[:0]
+	t.singles = t.singles[:0]
+	t.count = 0
+}

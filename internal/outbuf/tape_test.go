@@ -1,0 +1,148 @@
+package outbuf
+
+import (
+	"math/rand"
+	"testing"
+
+	"skewjoin/internal/relation"
+)
+
+// applyOps drives the same random operation sequence against any Writer.
+func applyOps(w Writer, rng *rand.Rand, nOps int) {
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			w.Push(relation.Key(rng.Uint32()), relation.Payload(rng.Uint32()), relation.Payload(rng.Uint32()))
+		case 1:
+			run := make([]relation.Payload, rng.Intn(9))
+			for j := range run {
+				run[j] = relation.Payload(rng.Uint32())
+			}
+			w.PushRun(relation.Key(rng.Uint32()), run, relation.Payload(rng.Uint32()))
+		case 2:
+			run := make([]relation.Payload, rng.Intn(9))
+			for j := range run {
+				run[j] = relation.Payload(rng.Uint32())
+			}
+			w.PushRunS(relation.Key(rng.Uint32()), relation.Payload(rng.Uint32()), run)
+		default:
+			batch := make([]Result, rng.Intn(7))
+			for j := range batch {
+				batch[j] = Result{
+					Key:      relation.Key(rng.Uint32()),
+					PayloadR: relation.Payload(rng.Uint32()),
+					PayloadS: relation.Payload(rng.Uint32()),
+				}
+			}
+			w.PushBatch(batch)
+		}
+	}
+}
+
+// TestTapeReplayMatchesDirect drives an identical random operation stream
+// into a Buffer directly and into a Tape replayed into a second Buffer:
+// ring contents, count, checksum and the flush batch sequence must all be
+// bit-identical. This is the invariant that makes host-parallel GPU
+// simulation reproducible: a block's tape replay is indistinguishable
+// from the block having written to the shared buffer itself.
+func TestTapeReplayMatchesDirect(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		var directBatches, replayBatches [][]Result
+		record := func(dst *[][]Result) FlushFunc {
+			return func(batch []Result) {
+				cp := make([]Result, len(batch))
+				copy(cp, batch)
+				*dst = append(*dst, cp)
+			}
+		}
+
+		direct := New(64)
+		direct.SetFlush(record(&directBatches))
+		applyOps(direct, rand.New(rand.NewSource(seed)), 200)
+		direct.Flush()
+
+		var tape Tape
+		applyOps(&tape, rand.New(rand.NewSource(seed)), 200)
+		replayed := New(64)
+		replayed.SetFlush(record(&replayBatches))
+		tape.Replay(replayed)
+		replayed.Flush()
+
+		if tape.Count() != direct.Count() {
+			t.Fatalf("seed %d: tape count %d, direct count %d", seed, tape.Count(), direct.Count())
+		}
+		ds, rs := Summarize([]*Buffer{direct}), Summarize([]*Buffer{replayed})
+		if ds != rs {
+			t.Fatalf("seed %d: direct summary %+v, replay summary %+v", seed, ds, rs)
+		}
+		if len(directBatches) != len(replayBatches) {
+			t.Fatalf("seed %d: %d direct flush batches, %d replayed", seed, len(directBatches), len(replayBatches))
+		}
+		for i := range directBatches {
+			if len(directBatches[i]) != len(replayBatches[i]) {
+				t.Fatalf("seed %d: batch %d length %d vs %d", seed, i, len(directBatches[i]), len(replayBatches[i]))
+			}
+			for j := range directBatches[i] {
+				if directBatches[i][j] != replayBatches[i][j] {
+					t.Fatalf("seed %d: batch %d result %d: %+v vs %+v",
+						seed, i, j, directBatches[i][j], replayBatches[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestTapeCoalescesSingles checks the op-journal compression: consecutive
+// Push/PushBatch calls extend one opSingles record instead of growing the
+// journal per result.
+func TestTapeCoalescesSingles(t *testing.T) {
+	var tape Tape
+	for i := 0; i < 100; i++ {
+		tape.Push(relation.Key(i), 1, 2)
+	}
+	tape.PushBatch([]Result{{Key: 7}, {Key: 8}})
+	if len(tape.ops) != 1 {
+		t.Fatalf("got %d ops for a pure singles stream, want 1", len(tape.ops))
+	}
+	tape.PushRun(9, []relation.Payload{1}, 2)
+	tape.Push(10, 1, 2)
+	if len(tape.ops) != 3 {
+		t.Fatalf("got %d ops after run + single, want 3", len(tape.ops))
+	}
+	if tape.Count() != 104 {
+		t.Fatalf("count %d, want 104", tape.Count())
+	}
+}
+
+// TestTapeReset reuses a tape after Reset and checks the replay reflects
+// only the second recording.
+func TestTapeReset(t *testing.T) {
+	var tape Tape
+	tape.Push(1, 2, 3)
+	tape.PushRun(4, []relation.Payload{5, 6}, 7)
+	tape.Reset()
+	if tape.Count() != 0 || len(tape.ops) != 0 {
+		t.Fatalf("after Reset: count %d, %d ops", tape.Count(), len(tape.ops))
+	}
+	tape.Push(8, 9, 10)
+
+	want := New(16)
+	want.Push(8, 9, 10)
+	got := New(16)
+	tape.Replay(got)
+	if gs, ws := Summarize([]*Buffer{got}), Summarize([]*Buffer{want}); gs != ws {
+		t.Fatalf("replay after reset: %+v, want %+v", gs, ws)
+	}
+}
+
+// TestTapeEmptyRunsSkipped mirrors Buffer behaviour: zero-length runs are
+// no-ops and must not leave journal entries behind.
+func TestTapeEmptyRunsSkipped(t *testing.T) {
+	var tape Tape
+	tape.PushRun(1, nil, 2)
+	tape.PushRunS(3, 4, nil)
+	tape.PushBatch(nil)
+	if tape.Count() != 0 || len(tape.ops) != 0 {
+		t.Fatalf("empty ops recorded: count %d, %d ops", tape.Count(), len(tape.ops))
+	}
+}

@@ -326,6 +326,14 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	wait := time.Since(queuedAt)
 
 	opts := &skewjoin.Options{Threads: weight, Context: ctx}
+	// GPU simulation parallelism spends host workers too, so clamp it to
+	// the weight this request was admitted with.
+	if hp := req.HostParallelism; hp != 0 {
+		if hp > weight {
+			hp = weight
+		}
+		opts.HostParallelism = hp
+	}
 	if sink != nil {
 		opts.Consumer = sink.factory
 	}

@@ -169,6 +169,13 @@ type Options struct {
 	TopK int
 	// Device configures the simulated GPU (zero fields = A100).
 	Device DeviceConfig
+	// HostParallelism sets the host worker-pool size for executing the
+	// simulated GPU's thread blocks (Gbase, GSH, GSMJ). It overrides
+	// Device.HostParallelism when non-zero: N>0 runs launches on N host
+	// workers, negative forces the serial seed path. Parallel execution is
+	// bit-identical to serial — same output, stats and modelled times —
+	// and changes only the wall-clock cost of simulation.
+	HostParallelism int
 	// OutBufCap overrides the per-worker output ring capacity.
 	OutBufCap int
 	// Consumer optionally attaches a volcano-style upper operator: for
@@ -326,14 +333,14 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 		out.JoinPhase = joinPhaseStats(res.Stats.NM)
 		return out, nil
 	case Gbase:
-		res := gbase.Join(r, s, gbase.Config{Device: opts.Device, Flush: opts.Consumer})
+		res := gbase.Join(r, s, gbase.Config{Device: opts.deviceConfig(), Flush: opts.Consumer})
 		if err := ctxErr(ctx); err != nil {
 			return Result{}, err
 		}
 		return wrap(alg, res.Summary, phases(res.Phases), true), nil
 	case GSH:
 		res := gsh.Join(r, s, gsh.Config{
-			Device: opts.Device, SampleRate: opts.SampleRate, TopK: opts.TopK,
+			Device: opts.deviceConfig(), SampleRate: opts.SampleRate, TopK: opts.TopK,
 			Flush: opts.Consumer,
 		})
 		if err := ctxErr(ctx); err != nil {
@@ -350,7 +357,7 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
 	case GSMJ:
-		res := gsmj.Join(r, s, gsmj.Config{Device: opts.Device})
+		res := gsmj.Join(r, s, gsmj.Config{Device: opts.deviceConfig()})
 		if err := ctxErr(ctx); err != nil {
 			return Result{}, err
 		}
@@ -358,6 +365,19 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("skewjoin: unknown algorithm %q", alg)
 	}
+}
+
+// deviceConfig resolves the simulated-GPU configuration for a run,
+// applying the Options.HostParallelism override on top of Options.Device.
+func (o *Options) deviceConfig() DeviceConfig {
+	d := o.Device
+	switch {
+	case o.HostParallelism > 0:
+		d.HostParallelism = o.HostParallelism
+	case o.HostParallelism < 0:
+		d.HostParallelism = 0
+	}
+	return d
 }
 
 // ctxErr is ctx.Err() tolerating a nil context.
