@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu experiments examples serve-smoke clean
+.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -58,6 +58,24 @@ bench-join:
 # the machine-readable perf baseline committed as BENCH_gpu.json.
 bench-gpu:
 	$(GO) run ./cmd/skewbench -exp gpu -repeats 5 -out BENCH_gpu.json
+
+# Co-processing sweep (zipf x placement policy x HostParallelism) of the
+# cost-model split executor against its pinned single-backend controls;
+# writes the machine-readable baseline committed as BENCH_coproc.json.
+# The harness exits non-zero if the model policy measurably loses to the
+# better control in any cell. -shm 8 reproduces the paper's
+# skew-to-shared-memory pressure at this reduced scale (see README).
+bench-coproc:
+	$(GO) run ./cmd/skewbench -exp coproc -n 131072 -repeats 3 -shm 8 -out BENCH_coproc.json
+
+# Tiny oracle-verified coproc run for CI: exercises every (zipf, policy,
+# hostpar) cell once, checks the regression bound, and asserts the JSON
+# artifact carries the measured and predicted makespans.
+bench-coproc-smoke:
+	$(GO) run ./cmd/skewbench -exp coproc -n 8192 -repeats 1 -shm 8 -out /tmp/BENCH_coproc.json
+	grep -q '"makespan_ns"' /tmp/BENCH_coproc.json
+	grep -q '"predicted_makespan_ns"' /tmp/BENCH_coproc.json
+	grep -q '"calibration"' /tmp/BENCH_coproc.json
 
 # Regenerate every table and figure of the paper (plus extensions).
 experiments:

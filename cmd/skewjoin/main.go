@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"skewjoin"
 	"skewjoin/internal/bench"
@@ -45,6 +46,9 @@ func main() {
 		rPath   = flag.String("r", "", "path to table R (binary relation file)")
 		sPath   = flag.String("s", "", "path to table S (binary relation file)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
+		backend = flag.String("backend", "", "execution backend: empty (run -alg as-is) or split (cost-model co-processing across CPU and simulated GPU; overrides -alg)")
+		device  = flag.String("device", "a100", "simulated GPU profile: a100 (discrete flagship) or coupled (integrated GPU a small multiple faster than the host)")
+		policy  = flag.String("policy", "", "split placement policy: model (default), static, cpu, or gpu (with -backend split)")
 		hostpar = flag.Int("hostpar", 0, "host workers simulating GPU thread blocks (0 = serial; output is identical)")
 		verify  = flag.Bool("verify", true, "check the output against the oracle")
 		trace   = flag.Bool("gputrace", false, "print the simulator's per-kernel launch records (GPU algorithms)")
@@ -69,12 +73,38 @@ func main() {
 		fatal(fmt.Errorf("provide both -r and -s, or neither"))
 	}
 
-	if *alg == "all" {
+	var dev skewjoin.DeviceConfig
+	switch *device {
+	case "", "a100":
+		// zero value = A100
+	case "coupled":
+		dev = skewjoin.CoupledDevice()
+	default:
+		fatal(fmt.Errorf("unknown device %q (want a100 or coupled)", *device))
+	}
+
+	if *alg == "all" && *backend == "" {
 		compareAll(r, s, *threads, *hostpar, *verify)
 		return
 	}
 
 	algorithm := skewjoin.Algorithm(*alg)
+	opts := &skewjoin.Options{Threads: *threads, HostParallelism: *hostpar, Device: dev}
+	switch *backend {
+	case "":
+	case "split":
+		algorithm = skewjoin.Split
+		switch skewjoin.SplitPolicy(*policy) {
+		case "", skewjoin.SplitPolicyModel, skewjoin.SplitPolicyStatic,
+			skewjoin.SplitPolicyCPU, skewjoin.SplitPolicyGPU:
+			opts.SplitPolicy = skewjoin.SplitPolicy(*policy)
+		default:
+			fatal(fmt.Errorf("unknown policy %q (want model, static, cpu, or gpu)", *policy))
+		}
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want split, or omit it)", *backend))
+	}
+
 	var res skewjoin.Result
 	if *trace && algorithm.IsGPU() {
 		// Run through the internal packages to reach the launch records.
@@ -82,7 +112,7 @@ func main() {
 		res = tres
 		defer printTrace(trc)
 	} else {
-		res, err = skewjoin.Join(algorithm, r, s, &skewjoin.Options{Threads: *threads, HostParallelism: *hostpar})
+		res, err = skewjoin.Join(algorithm, r, s, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,6 +130,19 @@ func main() {
 	fmt.Printf("  %-12s %s%s\n", "total", bench.FormatDuration(res.Total), mark)
 	if res.Modelled {
 		fmt.Println("  (* modelled GPU time from the device simulator)")
+	}
+	if st := res.Split; st != nil && st.Plan != nil {
+		if st.Plan.Split {
+			fmt.Printf("  co-processing: %d partitions on cpu, %d on gpu (imbalance %.2fx)\n",
+				len(st.Plan.CPUParts), len(st.Plan.GPUParts), st.Imbalance)
+		} else {
+			fmt.Printf("  co-processing: degenerated to %s-only\n", st.Plan.Degenerate)
+		}
+		fmt.Printf("  join sides: cpu busy %s, gpu modelled %s (predicted makespan %s, actual %s)\n",
+			bench.FormatDuration(time.Duration(st.CPUJoinNs)),
+			bench.FormatDuration(time.Duration(st.GPUJoinNs+st.GPUTransferNs)),
+			bench.FormatDuration(time.Duration(st.Plan.PredictedMakespanNs)),
+			bench.FormatDuration(time.Duration(st.JoinSideNs())))
 	}
 
 	if *verify {

@@ -1,0 +1,640 @@
+// Package costmodel predicts per-partition join costs on both backends
+// and turns them into a CPU/GPU placement plan — the cost model behind
+// the co-processing executor (DESIGN.md §5).
+//
+// The CPU side is a calibrated linear model over the join phase's two
+// timed sections (internal/joinphase's BuildNs/ProbeNs split): building
+// costs BuildNsPerTuple per R tuple, probing costs ProbeNsPerUnit per
+// probe unit (one S tuple hashed plus one bucket entry visited). The two
+// constants are host properties, fitted once by Calibrate's micro-run and
+// reusable across requests.
+//
+// The GPU side needs no calibration: gpusim charges deterministic
+// modelled cycles, so the model simply mirrors the kernel's charge recipe
+// (gpupart.ProbeJoinBlock, including the sub-list decomposition of
+// oversized R partitions and the H2D/D2H staging transfers) analytically
+// from the partition sizes and sampled output estimates.
+//
+// Plan assigns every non-empty partition to one backend to minimize the
+// predicted makespan: partitions are sorted heaviest-first and each is
+// placed greedily on whichever backend finishes the combined schedule
+// earlier (LPT over two unrelated machines — the CPU bin is work divided
+// over its worker pool, the GPU bin replays gpusim's earliest-free-SM
+// block schedule plus the serial transfers). When the predicted win over
+// the better single backend is below a threshold, the plan degenerates to
+// that single backend so uniform (or tiny) inputs pay no split overhead.
+package costmodel
+
+import (
+	"math"
+	"sort"
+
+	"skewjoin/internal/cbase"
+	"skewjoin/internal/freqtable"
+	"skewjoin/internal/gpusim"
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/radix"
+	"skewjoin/internal/relation"
+)
+
+// Backend identifies which processor a partition is placed on.
+type Backend uint8
+
+// The two processors of the coupled engine.
+const (
+	CPU Backend = iota
+	GPU
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	if b == GPU {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// Calibration holds the two fitted scale constants of the CPU cost model.
+// They are properties of the host (cache behaviour, branch costs), not of
+// a workload, so one calibration serves every subsequent join.
+type Calibration struct {
+	// BuildNsPerTuple is the wall ns to insert one R tuple into a
+	// chained hash table (joinphase's BuildNs over tuples built).
+	BuildNsPerTuple float64
+	// ProbeNsPerUnit is the wall ns per probe unit: one S tuple hashed
+	// plus one bucket entry visited (joinphase's ProbeNs over
+	// |S| + ProbeVisits).
+	ProbeNsPerUnit float64
+}
+
+// Valid reports whether both constants are positive and finite.
+func (c Calibration) Valid() bool {
+	return c.BuildNsPerTuple > 0 && c.ProbeNsPerUnit > 0 &&
+		!math.IsInf(c.BuildNsPerTuple, 1) && !math.IsInf(c.ProbeNsPerUnit, 1)
+}
+
+// DefaultCalibration returns typical modern-x86 constants, used when no
+// micro-run has been performed.
+func DefaultCalibration() Calibration {
+	return Calibration{BuildNsPerTuple: 10, ProbeNsPerUnit: 2.5}
+}
+
+// calibration micro-run bounds: enough tuples that per-task overheads
+// amortise, few enough that calibration stays in the low milliseconds.
+const (
+	calibrateTuples = 1 << 14
+	calibrateRounds = 2
+)
+
+// Calibrate fits the CPU constants with a micro-run: a stride-sampled
+// slice of each input (so the sample keeps the workload's skew shape) is
+// joined by cbase, and the constants are read off the join phase's timed
+// build/probe split. The cheapest of a few rounds is kept, since wall
+// timers can only be inflated by scheduler noise, never deflated. Results
+// are clamped into a sane range and fall back to DefaultCalibration when
+// the inputs are too small to measure.
+func Calibrate(r, s relation.Relation, threads int) Calibration {
+	rs, ss := strideSample(r.Tuples, calibrateTuples), strideSample(s.Tuples, calibrateTuples)
+	if len(rs) < 256 || len(ss) < 256 {
+		return DefaultCalibration()
+	}
+	best := Calibration{math.Inf(1), math.Inf(1)}
+	for round := 0; round < calibrateRounds; round++ {
+		res := cbase.Join(
+			relation.Relation{Tuples: rs}, relation.Relation{Tuples: ss},
+			cbase.Config{Threads: threads, Bits1: 4, Bits2: 3},
+		)
+		st := res.Stats.Join
+		units := float64(len(ss)) + float64(st.ProbeVisits)
+		if st.BuildNs > 0 {
+			if b := float64(st.BuildNs) / float64(len(rs)); b < best.BuildNsPerTuple {
+				best.BuildNsPerTuple = b
+			}
+		}
+		if st.ProbeNs > 0 && units > 0 {
+			if p := float64(st.ProbeNs) / units; p < best.ProbeNsPerUnit {
+				best.ProbeNsPerUnit = p
+			}
+		}
+	}
+	if !best.Valid() {
+		return DefaultCalibration()
+	}
+	return best.clamp()
+}
+
+// clamp bounds both constants into [0.1ns, 1000ns] so a degenerate
+// micro-run cannot produce a plan-warping calibration.
+func (c Calibration) clamp() Calibration {
+	bound := func(v float64) float64 {
+		if v < 0.1 {
+			return 0.1
+		}
+		if v > 1000 {
+			return 1000
+		}
+		return v
+	}
+	return Calibration{BuildNsPerTuple: bound(c.BuildNsPerTuple), ProbeNsPerUnit: bound(c.ProbeNsPerUnit)}
+}
+
+// strideSample returns every n/cap-th tuple of src, at most cap tuples.
+// Stride sampling keeps heavy keys at their true relative frequency,
+// which is what makes the micro-run representative of the full join.
+func strideSample(src []relation.Tuple, capTuples int) []relation.Tuple {
+	if len(src) <= capTuples {
+		return src
+	}
+	stride := (len(src) + capTuples - 1) / capTuples
+	out := make([]relation.Tuple, 0, len(src)/stride+1)
+	for i := 0; i < len(src); i += stride {
+		out = append(out, src[i])
+	}
+	return out
+}
+
+// Config parameterises cost prediction and planning.
+type Config struct {
+	// Device is the simulated GPU the plan targets (zero fields = A100).
+	Device gpusim.Config
+	// Calib holds the CPU constants (zero value = DefaultCalibration).
+	Calib Calibration
+	// Threads is the CPU-side worker count the plan divides CPU work over.
+	Threads int
+	// SampleTarget is the per-partition, per-side sample size used to
+	// estimate output cardinality and top-key frequency (default 64).
+	SampleTarget int
+	// MinWinNs is the absolute predicted-win floor: a split predicted to
+	// save less than this over the better single backend degenerates
+	// (default 25ms — below that, orchestration overhead eats the win).
+	MinWinNs float64
+	// WinFraction is the relative predicted-win floor (default 0.10).
+	WinFraction float64
+}
+
+// Defaults fills zero fields.
+func (c Config) Defaults() Config {
+	c.Device = c.Device.Defaults()
+	if !c.Calib.Valid() {
+		c.Calib = DefaultCalibration()
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.SampleTarget <= 0 {
+		c.SampleTarget = 64
+	}
+	if c.MinWinNs <= 0 {
+		c.MinWinNs = 25e6
+	}
+	if c.WinFraction <= 0 {
+		c.WinFraction = 0.10
+	}
+	return c
+}
+
+// PartCost is one non-empty radix partition with its predicted cost on
+// each backend.
+type PartCost struct {
+	Part   int // partition index
+	NR, NS int
+	// EstOut is the sampled cross-estimate of the partition's output.
+	EstOut float64
+	// EstVisits is the estimated bucket entries visited probing it.
+	EstVisits float64
+	// CPUNs is the predicted single-worker CPU time.
+	CPUNs float64
+	// GPUBlockCycles holds the predicted cycles of each thread block the
+	// partition becomes on the GPU (sub-list decomposition included).
+	GPUBlockCycles []float64
+	// GPUCycles is the sum over GPUBlockCycles.
+	GPUCycles float64
+	// Bytes is the partition's H2D input traffic if GPU-placed.
+	Bytes int
+}
+
+// divergenceFactor inflates the predicted warp-loop iterations over the
+// ideal visits/WarpSize: within a warp the slowest lane sets the pace, so
+// chain-length variance costs extra iterations. Under heavy skew lanes
+// walk the same giant chain and the factor approaches 1; the constant is
+// a middle ground and the residual shows up in the recorded
+// predicted-vs-actual error, not in correctness.
+const divergenceFactor = 1.2
+
+// Costs predicts both backends' cost for every non-empty partition pair.
+func Costs(pr, ps *radix.Partitioned, cfg Config) []PartCost {
+	cfg = cfg.Defaults()
+	fanout := pr.Fanout()
+	out := make([]PartCost, 0, fanout)
+	for p := 0; p < fanout; p++ {
+		nR, nS := pr.Size(p), ps.Size(p)
+		if nR == 0 || nS == 0 {
+			continue
+		}
+		pc := PartCost{Part: p, NR: nR, NS: nS, Bytes: (nR + nS) * relation.TupleSize}
+		estOut, topR := estimatePartition(pr.Part(p), ps.Part(p), cfg.SampleTarget)
+		pc.EstOut = estOut
+		pc.EstVisits = estVisits(nR, nS, estOut)
+		pc.CPUNs = cfg.Calib.BuildNsPerTuple*float64(nR) +
+			cfg.Calib.ProbeNsPerUnit*(float64(nS)+pc.EstVisits)
+		pc.GPUBlockCycles = gpuBlocks(cfg.Device, nR, nS, pc.EstVisits, estOut, topR)
+		for _, c := range pc.GPUBlockCycles {
+			pc.GPUCycles += c
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
+// estimatePartition stride-samples both sides of one partition and
+// returns the cross-sample output estimate plus the extrapolated top-key
+// frequency on the R side (the partition's longest expected chain).
+func estimatePartition(rPart, sPart []relation.Tuple, target int) (estOut, topR float64) {
+	strideR, strideS := sampleStride(len(rPart), target), sampleStride(len(sPart), target)
+	cr := freqtable.New(target)
+	var top uint32
+	for i := 0; i < len(rPart); i += strideR {
+		if c := cr.Add(rPart[i].Key); c > top {
+			top = c
+		}
+	}
+	cs := freqtable.New(target)
+	for i := 0; i < len(sPart); i += strideS {
+		cs.Add(sPart[i].Key)
+	}
+	var cross uint64
+	cr.Each(func(k relation.Key, fr uint32) {
+		if fs := cs.Count(k); fs > 0 {
+			cross += uint64(fr) * uint64(fs)
+		}
+	})
+	return float64(cross) * float64(strideR) * float64(strideS), float64(top) * float64(strideR)
+}
+
+// sampleStride is the stride that yields about `target` samples from n
+// items.
+func sampleStride(n, target int) int {
+	if n <= target {
+		return 1
+	}
+	return (n + target - 1) / target
+}
+
+// estVisits estimates the bucket entries visited while probing an
+// nR-tuple chained table (NextPow2(nR) buckets, load factor <= 1) with nS
+// tuples: every probe walks its whole bucket, so the expected visits are
+// nS times the average chain length, plus the matches the cross-estimate
+// found beyond what uniform chains explain.
+func estVisits(nR, nS int, estOut float64) float64 {
+	buckets := hashfn.NextPow2(nR)
+	uniform := float64(nS) * float64(nR) / float64(buckets)
+	v := uniform + estOut
+	if v < float64(nS) {
+		v = float64(nS)
+	}
+	return v
+}
+
+// gpuBlocks predicts the per-block cycles a partition costs on the GPU,
+// mirroring gpupart.ProbeJoinBlock's charge recipe. An R side larger than
+// the shared-memory capacity is decomposed into ceil(nR/capacity)
+// sub-lists, each probed by the full S partition — Gbase's skew weakness,
+// reproduced faithfully so the planner sees its cost.
+func gpuBlocks(dev gpusim.Config, nR, nS int, visits, estOut, topChain float64) []float64 {
+	capacity := dev.SharedMemBytes / 16
+	if capacity < 1 {
+		capacity = 1
+	}
+	subs := (nR + capacity - 1) / capacity
+	if subs < 1 {
+		subs = 1
+	}
+	blocks := make([]float64, subs)
+	f := float64(subs)
+	for i := range blocks {
+		// Chains (and hence visits, matches and barrier depth) split
+		// roughly evenly across sub-lists; every sub-list rereads the
+		// full S side.
+		blocks[i] = blockCycles(dev, float64(nR)/f, float64(nS), visits/f, estOut/f, topChain/f)
+	}
+	return blocks
+}
+
+// blockCycles mirrors gpupart.ProbeJoinBlock's cost accounting for one
+// thread block joining an nR-tuple R sub-list against an nS-tuple S side.
+func blockCycles(dev gpusim.Config, nR, nS, visits, matches, topChain float64) float64 {
+	bpc := dev.GlobalBandwidth / dev.ClockHz / float64(dev.NumSMs)
+	warps := float64(dev.CoresPerSM) / float64(dev.WarpSize)
+	if warps < 1 {
+		warps = 1
+	}
+	ws := float64(dev.WarpSize)
+
+	var cycles float64
+	// Build: coalesced R read, per-tuple hash/insert work, bucket-head
+	// atomics.
+	cycles += nR * relation.TupleSize / bpc
+	cycles += math.Ceil(nR/ws) * 4 / warps
+	cycles += nR * dev.AtomicCost
+	// Probe: coalesced S read, then the chain walk. Each chain step costs
+	// a shared access, a compare and the write-bitmap procedure; warps
+	// serialise on their slowest lane (divergenceFactor).
+	cycles += nS * relation.TupleSize / bpc
+	stepCost := dev.SharedAccessCost + dev.ComputeCost + dev.AtomicCost + 3*dev.ComputeCost
+	cycles += visits / ws * divergenceFactor * stepCost / warps
+	// Barriers: one per chain step per batch of ThreadsPerBlock S tuples;
+	// the longest chain in a typical batch is at least a couple of steps
+	// and approaches the partition's top-key chain under skew.
+	chain := topChain
+	if chain < 2 {
+		chain = 2
+	}
+	cycles += nS / float64(dev.ThreadsPerBlock) * chain * dev.BarrierCost
+	// Output: post-bitmap offsets plus the coalesced result write.
+	cycles += math.Ceil(matches/ws) / warps
+	cycles += matches * 12 / bpc
+	return cycles
+}
+
+// Plan is a per-partition placement with its predicted consequences. All
+// times are nanoseconds of the respective backend's clock: CPU times are
+// wall-style busy time per worker, GPU times are modelled device time —
+// the same units the executor reports, so predicted and actual makespans
+// are directly comparable.
+type Plan struct {
+	// CPUParts and GPUParts list the assigned partition indices, each in
+	// ascending order. Every non-empty partition appears in exactly one.
+	CPUParts, GPUParts []int
+	// CPUNs is the predicted CPU-side time: assigned work over Threads.
+	CPUNs float64
+	// GPUNs is the predicted GPU-side modelled time: H2D transfer, the
+	// block schedule's makespan, launch overhead and D2H transfer.
+	GPUNs float64
+	// TransferNs is the transfer share of GPUNs.
+	TransferNs float64
+	// MakespanNs is max(CPUNs, GPUNs) — the predicted join-phase time
+	// with both backends running concurrently.
+	MakespanNs float64
+	// CPUOnlyNs / GPUOnlyNs are the predicted single-backend controls.
+	CPUOnlyNs, GPUOnlyNs float64
+	// Split reports whether the plan actually uses both backends. When
+	// false, Degenerate names the single backend everything runs on.
+	Split      bool
+	Degenerate Backend
+}
+
+// BuildPlan assigns every costed partition to a backend. Heaviest partitions
+// (by their cheaper-backend cost) are placed first, each on the backend
+// that minimizes the resulting predicted makespan; afterwards the plan
+// degenerates to the better single backend if the predicted win is below
+// the configured thresholds.
+func BuildPlan(costs []PartCost, cfg Config) Plan {
+	cfg = cfg.Defaults()
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := &costs[order[a]], &costs[order[b]]
+		return math.Max(ca.CPUNs, gpuNsOf(cfg.Device, ca)) > math.Max(cb.CPUNs, gpuNsOf(cfg.Device, cb))
+	})
+
+	cpu := &cpuBin{threads: float64(cfg.Threads)}
+	gpu := newGPUBin(cfg.Device)
+	var onCPU, onGPU []int
+	for _, i := range order {
+		pc := &costs[i]
+		withCPU := math.Max(cpu.timeWith(pc), gpu.time())
+		withGPU := math.Max(cpu.time(), gpu.timeWith(pc))
+		if withCPU <= withGPU {
+			cpu.add(pc)
+			onCPU = append(onCPU, pc.Part)
+		} else {
+			gpu.add(pc)
+			onGPU = append(onGPU, pc.Part)
+		}
+	}
+	sort.Ints(onCPU)
+	sort.Ints(onGPU)
+
+	plan := Plan{
+		CPUParts: onCPU, GPUParts: onGPU,
+		CPUNs: cpu.time(), GPUNs: gpu.time(), TransferNs: gpu.transferNs(),
+	}
+	plan.MakespanNs = math.Max(plan.CPUNs, plan.GPUNs)
+	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
+
+	better := math.Min(plan.CPUOnlyNs, plan.GPUOnlyNs)
+	win := better - plan.MakespanNs
+	threshold := math.Max(cfg.MinWinNs, cfg.WinFraction*better)
+	if len(onCPU) == 0 || len(onGPU) == 0 || win < threshold {
+		return degenerate(costs, cfg, plan)
+	}
+	plan.Split = true
+	return plan
+}
+
+// SinglePredictions returns the predicted times of running every costed
+// partition on one backend — the CPU-only and GPU-only controls.
+func SinglePredictions(costs []PartCost, cfg Config) (cpuNs, gpuNs float64) {
+	cfg = cfg.Defaults()
+	cpu := &cpuBin{threads: float64(cfg.Threads)}
+	gpu := newGPUBin(cfg.Device)
+	for i := range costs {
+		cpu.add(&costs[i])
+		gpu.add(&costs[i])
+	}
+	return cpu.time(), gpu.time()
+}
+
+// degenerate rewrites plan to place everything on the cheaper single
+// backend.
+func degenerate(costs []PartCost, cfg Config, plan Plan) Plan {
+	b := CPU
+	if plan.GPUOnlyNs < plan.CPUOnlyNs {
+		b = GPU
+	}
+	return singleBackend(costs, cfg, plan, b)
+}
+
+// StaticPlan alternates the costed partitions round-robin between the
+// two backends, ignoring the cost model — the naive co-processing
+// control the model-driven plan is benchmarked against (and the simplest
+// way for tests to force a genuine two-backend split on inputs too small
+// to clear BuildPlan's win thresholds).
+func StaticPlan(costs []PartCost, cfg Config) Plan {
+	cfg = cfg.Defaults()
+	cpu := &cpuBin{threads: float64(cfg.Threads)}
+	gpu := newGPUBin(cfg.Device)
+	var onCPU, onGPU []int
+	for i := range costs {
+		pc := &costs[i]
+		if i%2 == 0 {
+			cpu.add(pc)
+			onCPU = append(onCPU, pc.Part)
+		} else {
+			gpu.add(pc)
+			onGPU = append(onGPU, pc.Part)
+		}
+	}
+	plan := Plan{
+		CPUParts: onCPU, GPUParts: onGPU,
+		CPUNs: cpu.time(), GPUNs: gpu.time(), TransferNs: gpu.transferNs(),
+	}
+	plan.MakespanNs = math.Max(plan.CPUNs, plan.GPUNs)
+	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
+	plan.Split = len(onCPU) > 0 && len(onGPU) > 0
+	if !plan.Split && len(onGPU) > 0 {
+		plan.Degenerate = GPU
+	}
+	return plan
+}
+
+// ForcePlan places every costed partition on backend b unconditionally —
+// the pinned CPU-only and GPU-only control policies of the coproc
+// benchmark, sharing the predicted-time machinery with BuildPlan.
+func ForcePlan(costs []PartCost, cfg Config, b Backend) Plan {
+	cfg = cfg.Defaults()
+	var plan Plan
+	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
+	return singleBackend(costs, cfg, plan, b)
+}
+
+// singleBackend rewrites plan so every partition runs on b.
+func singleBackend(costs []PartCost, cfg Config, plan Plan, b Backend) Plan {
+	all := make([]int, len(costs))
+	for i := range costs {
+		all[i] = costs[i].Part
+	}
+	sort.Ints(all)
+	plan.Split = false
+	plan.Degenerate = b
+	if b == GPU {
+		plan.CPUParts, plan.GPUParts = nil, all
+		plan.CPUNs, plan.GPUNs = 0, plan.GPUOnlyNs
+		gpu := newGPUBin(cfg.Device)
+		for i := range costs {
+			gpu.add(&costs[i])
+		}
+		plan.TransferNs = gpu.transferNs()
+		plan.MakespanNs = plan.GPUOnlyNs
+	} else {
+		plan.CPUParts, plan.GPUParts = all, nil
+		plan.CPUNs, plan.GPUNs, plan.TransferNs = plan.CPUOnlyNs, 0, 0
+		plan.MakespanNs = plan.CPUOnlyNs
+	}
+	return plan
+}
+
+// gpuNsOf is the partition's GPU time ignoring schedule interactions,
+// used only for the heaviest-first ordering.
+func gpuNsOf(dev gpusim.Config, pc *PartCost) float64 {
+	max := 0.0
+	for _, c := range pc.GPUBlockCycles {
+		if c > max {
+			max = c
+		}
+	}
+	return cyclesToNs(dev, max) + transferNs(dev, pc.Bytes, pc.EstOut)
+}
+
+// cpuBin accumulates CPU-assigned work; its time is work divided over the
+// worker pool (the dynamic task queue balances well below makespan
+// granularity).
+type cpuBin struct {
+	workNs  float64
+	threads float64
+}
+
+func (b *cpuBin) add(pc *PartCost)              { b.workNs += pc.CPUNs }
+func (b *cpuBin) time() float64                 { return b.workNs / b.threads }
+func (b *cpuBin) timeWith(pc *PartCost) float64 { return (b.workNs + pc.CPUNs) / b.threads }
+
+// gpuBin accumulates GPU-assigned blocks and transfers; its time replays
+// gpusim's earliest-free-SM schedule over the accumulated block costs
+// plus the serial H2D/D2H transfers and one launch overhead.
+type gpuBin struct {
+	dev     gpusim.Config
+	sm      []float64 // min-heap on finish time, as gpusim.scheduleInto
+	bytes   float64   // H2D input traffic
+	outRows float64   // estimated output rows (D2H at 12 bytes each)
+	blocks  int
+}
+
+func newGPUBin(dev gpusim.Config) *gpuBin {
+	return &gpuBin{dev: dev, sm: make([]float64, dev.NumSMs)}
+}
+
+// add schedules the partition's blocks onto the bin's SM heap.
+func (b *gpuBin) add(pc *PartCost) {
+	for _, c := range pc.GPUBlockCycles {
+		b.sm[0] += c
+		siftDown(b.sm)
+		b.blocks++
+	}
+	b.bytes += float64(pc.Bytes)
+	b.outRows += pc.EstOut
+}
+
+// time is the bin's predicted modelled time: schedule makespan plus
+// launch overhead (when any block exists) plus transfers.
+func (b *gpuBin) time() float64 {
+	makespan := 0.0
+	for _, t := range b.sm {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	cycles := makespan
+	if b.blocks > 0 {
+		cycles += b.dev.KernelLaunchCycles
+	}
+	return cyclesToNs(b.dev, cycles) + b.transferNs()
+}
+
+// timeWith is time() if pc were added, without mutating the bin.
+func (b *gpuBin) timeWith(pc *PartCost) float64 {
+	saved := make([]float64, len(b.sm))
+	copy(saved, b.sm)
+	savedBytes, savedRows, savedBlocks := b.bytes, b.outRows, b.blocks
+	b.add(pc)
+	t := b.time()
+	copy(b.sm, saved)
+	b.bytes, b.outRows, b.blocks = savedBytes, savedRows, savedBlocks
+	return t
+}
+
+func (b *gpuBin) transferNs() float64 {
+	return transferNs(b.dev, int(b.bytes), b.outRows)
+}
+
+// transferNs is the modelled H2D+D2H staging time for the given input
+// bytes and estimated output rows (12 bytes per result row).
+func transferNs(dev gpusim.Config, inBytes int, outRows float64) float64 {
+	return (float64(inBytes) + outRows*12) / dev.PCIeBandwidth * 1e9
+}
+
+func cyclesToNs(dev gpusim.Config, cycles float64) float64 {
+	return cycles / dev.ClockHz * 1e9
+}
+
+// siftDown restores the min-heap property after the root grew — the same
+// earliest-free-SM schedule gpusim uses.
+func siftDown(sm []float64) {
+	i := 0
+	for {
+		l := 2*i + 1
+		small := i
+		if l < len(sm) && sm[l] < sm[small] {
+			small = l
+		}
+		if r := l + 1; r < len(sm) && sm[r] < sm[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		sm[i], sm[small] = sm[small], sm[i]
+		i = small
+	}
+}

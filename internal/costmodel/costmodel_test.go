@@ -1,0 +1,280 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"skewjoin/internal/gpupart"
+	"skewjoin/internal/gpusim"
+	"skewjoin/internal/radix"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+func zipfPair(t *testing.T, n int, theta float64) (relation.Relation, relation.Relation) {
+	t.Helper()
+	g, err := zipf.New(zipf.Config{Theta: theta, Universe: n, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Pair(n)
+}
+
+func TestCalibrateProducesValidConstants(t *testing.T) {
+	r, s := zipfPair(t, 1<<15, 0.8)
+	cal := Calibrate(r, s, 2)
+	if !cal.Valid() {
+		t.Fatalf("Calibrate = %+v, not valid", cal)
+	}
+	// The clamp bounds are the sanity range; a real micro-run should land
+	// strictly inside it.
+	if cal.BuildNsPerTuple <= 0.1 || cal.BuildNsPerTuple >= 1000 {
+		t.Errorf("BuildNsPerTuple %g outside plausible range", cal.BuildNsPerTuple)
+	}
+	if cal.ProbeNsPerUnit <= 0.1 || cal.ProbeNsPerUnit >= 1000 {
+		t.Errorf("ProbeNsPerUnit %g outside plausible range", cal.ProbeNsPerUnit)
+	}
+}
+
+func TestCalibrateTinyInputFallsBack(t *testing.T) {
+	r := relation.Relation{Tuples: make([]relation.Tuple, 8)}
+	if cal := Calibrate(r, r, 1); cal != DefaultCalibration() {
+		t.Fatalf("tiny-input calibration = %+v, want defaults", cal)
+	}
+}
+
+func TestCostsCoverNonEmptyPartitions(t *testing.T) {
+	r, s := zipfPair(t, 1<<14, 1.0)
+	rcfg := radix.Config{Threads: 2, Bits1: 4, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	costs := Costs(pr, ps, Config{})
+	seen := make(map[int]bool)
+	var nR, nS int
+	for _, pc := range costs {
+		if seen[pc.Part] {
+			t.Fatalf("partition %d costed twice", pc.Part)
+		}
+		seen[pc.Part] = true
+		if pc.CPUNs <= 0 || pc.GPUCycles <= 0 || len(pc.GPUBlockCycles) == 0 {
+			t.Fatalf("partition %d has degenerate cost: %+v", pc.Part, pc)
+		}
+		nR += pc.NR
+		nS += pc.NS
+	}
+	for p := 0; p < pr.Fanout(); p++ {
+		if pr.Size(p) > 0 && ps.Size(p) > 0 && !seen[p] {
+			t.Fatalf("non-empty partition %d missing from costs", p)
+		}
+	}
+	// Zipf pairs share a universe, so no partition pair can be one-sided
+	// empty here: the costed totals must cover the inputs.
+	if nR != r.Len() || nS != s.Len() {
+		t.Fatalf("costed %d/%d tuples, inputs %d/%d", nR, nS, r.Len(), s.Len())
+	}
+}
+
+func TestEstimateTracksSkewedOutput(t *testing.T) {
+	// One hot key holding half of each side: true output is dominated by
+	// the hot key's cross product. The sampled estimate must get within a
+	// small factor — this is what separates the hot partition from the
+	// tail for the planner.
+	n := 1 << 12
+	rPart := make([]relation.Tuple, n)
+	sPart := make([]relation.Tuple, n)
+	for i := range rPart {
+		k := relation.Key(i)
+		if i%2 == 0 {
+			k = 7
+		}
+		rPart[i] = relation.Tuple{Key: k, Payload: relation.Payload(i)}
+		sPart[i] = relation.Tuple{Key: k, Payload: relation.Payload(i)}
+	}
+	estOut, topR := estimatePartition(rPart, sPart, 64)
+	trueOut := float64(n/2) * float64(n/2)
+	if estOut < trueOut/4 || estOut > trueOut*4 {
+		t.Fatalf("estOut = %g, true %g (off by more than 4x)", estOut, trueOut)
+	}
+	if topR < float64(n/2)/4 {
+		t.Fatalf("topR = %g, true hot frequency %d", topR, n/2)
+	}
+}
+
+func TestBlockCyclesTracksSimulator(t *testing.T) {
+	// The analytic block model must agree with what gpusim actually
+	// charges for ProbeJoinBlock within a loose factor — it mirrors the
+	// same recipe but estimates visits/matches from samples.
+	r, s := zipfPair(t, 1<<13, 1.0)
+	rcfg := radix.Config{Threads: 1, Bits1: 3, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	dev := gpusim.NewDevice(gpusim.Coupled())
+	capacity := dev.PartitionCapacityTuples()
+
+	for p := 0; p < pr.Fanout(); p++ {
+		nR, nS := pr.Size(p), ps.Size(p)
+		if nR == 0 || nS == 0 || nR > capacity {
+			continue
+		}
+		costs := Costs(pr, ps, Config{Device: dev.Config()})
+		var pc *PartCost
+		for i := range costs {
+			if costs[i].Part == p {
+				pc = &costs[i]
+			}
+		}
+		if pc == nil {
+			t.Fatalf("partition %d not costed", p)
+		}
+		rPart, sPart := pr.Part(p), ps.Part(p)
+		var actual float64
+		dev.Launch("join", "test", 1, func(b *gpusim.Block) {
+			gpupart.ProbeJoinBlock(b, rPart, sPart)
+			actual = b.Cycles()
+		})
+		predicted := pc.GPUCycles
+		if ratio := predicted / actual; ratio < 0.25 || ratio > 4 {
+			t.Errorf("partition %d: predicted %g cycles, simulator charged %g (ratio %.2f)",
+				p, predicted, actual, ratio)
+		}
+	}
+}
+
+// skewedCosts builds a cost set with one dominant partition and a tail,
+// at scales large enough to clear the default win thresholds.
+func skewedCosts(t *testing.T, n int) ([]PartCost, Config, int) {
+	t.Helper()
+	g, err := zipf.New(zipf.Config{Theta: 1.1, Universe: n, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(n)
+	rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	cfg := Config{Device: gpusim.Coupled(), Calib: DefaultCalibration(), Threads: 1}
+	costs := Costs(pr, ps, cfg)
+	hot, hotNs := -1, 0.0
+	for _, pc := range costs {
+		if pc.CPUNs > hotNs {
+			hot, hotNs = pc.Part, pc.CPUNs
+		}
+	}
+	return costs, cfg, hot
+}
+
+func TestBuildPlanSplitsSkewedWorkload(t *testing.T) {
+	costs, cfg, hot := skewedCosts(t, 1<<18)
+	plan := BuildPlan(costs, cfg)
+	if !plan.Split {
+		t.Fatalf("skewed workload should split: %+v", plan)
+	}
+	if len(plan.CPUParts) == 0 || len(plan.GPUParts) == 0 {
+		t.Fatalf("split plan must use both backends: %+v", plan)
+	}
+	if len(plan.CPUParts)+len(plan.GPUParts) != len(costs) {
+		t.Fatalf("plan covers %d+%d of %d partitions",
+			len(plan.CPUParts), len(plan.GPUParts), len(costs))
+	}
+	// The makespan must beat both single-backend controls by the
+	// configured margin.
+	better := math.Min(plan.CPUOnlyNs, plan.GPUOnlyNs)
+	if plan.MakespanNs >= better {
+		t.Fatalf("split makespan %g not better than controls cpu=%g gpu=%g",
+			plan.MakespanNs, plan.CPUOnlyNs, plan.GPUOnlyNs)
+	}
+	// The hot partition and the tail must land on different backends:
+	// the greedy places the dominant partition first and isolates it on
+	// the minority side while the tail fills the other. (On the coupled
+	// device the hot partition lands on the CPU — the Gbase-style kernel
+	// decomposes an oversized R partition into sub-lists that each reread
+	// the full S side, so GPU cost explodes exactly where the skew is.)
+	hotSide, otherSide := plan.CPUParts, plan.GPUParts
+	if !contains(plan.CPUParts, hot) {
+		hotSide, otherSide = plan.GPUParts, plan.CPUParts
+	}
+	if len(hotSide) >= len(otherSide) {
+		t.Errorf("hot partition %d not isolated: its backend holds %d partitions vs %d",
+			hot, len(hotSide), len(otherSide))
+	}
+}
+
+func contains(parts []int, p int) bool {
+	for _, q := range parts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildPlanDegeneratesOnTinyInput(t *testing.T) {
+	costs, cfg, _ := skewedCosts(t, 1<<10)
+	plan := BuildPlan(costs, cfg)
+	if plan.Split {
+		t.Fatalf("tiny input should degenerate, got split: %+v", plan)
+	}
+	if len(plan.CPUParts) != 0 && len(plan.GPUParts) != 0 {
+		t.Fatalf("degenerate plan uses both backends: %+v", plan)
+	}
+	if plan.MakespanNs != math.Min(plan.CPUOnlyNs, plan.GPUOnlyNs) {
+		t.Fatalf("degenerate makespan %g != better control (cpu=%g gpu=%g)",
+			plan.MakespanNs, plan.CPUOnlyNs, plan.GPUOnlyNs)
+	}
+}
+
+func TestBuildPlanDegeneratesToGPUOnA100(t *testing.T) {
+	// On a uniform workload an A100 is orders of magnitude faster than
+	// one host core and the output is too small for PCIe to matter;
+	// splitting cannot win and the plan must degenerate to the GPU.
+	// (Under heavy skew even an A100 plan may legitimately split — the
+	// giant output makes D2H transfer the bottleneck, and keeping some
+	// output-heavy partitions on the CPU avoids it.)
+	g, err := zipf.New(zipf.Config{Theta: 0, Universe: 1 << 18, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(1 << 18)
+	rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	cfg := Config{Calib: DefaultCalibration(), Threads: 1} // zero Device = A100
+	plan := BuildPlan(Costs(pr, ps, cfg), cfg)
+	if plan.Split || plan.Degenerate != GPU {
+		t.Fatalf("A100 plan should degenerate to GPU: %+v", plan)
+	}
+}
+
+func TestForcePlanPinsBackend(t *testing.T) {
+	costs, cfg, _ := skewedCosts(t, 1<<14)
+	cpuPlan := ForcePlan(costs, cfg, CPU)
+	if cpuPlan.Split || cpuPlan.Degenerate != CPU || len(cpuPlan.GPUParts) != 0 ||
+		len(cpuPlan.CPUParts) != len(costs) {
+		t.Fatalf("ForcePlan(CPU) = %+v", cpuPlan)
+	}
+	gpuPlan := ForcePlan(costs, cfg, GPU)
+	if gpuPlan.Split || gpuPlan.Degenerate != GPU || len(gpuPlan.CPUParts) != 0 ||
+		len(gpuPlan.GPUParts) != len(costs) {
+		t.Fatalf("ForcePlan(GPU) = %+v", gpuPlan)
+	}
+	if gpuPlan.TransferNs <= 0 {
+		t.Errorf("GPU-pinned plan has no transfer time: %+v", gpuPlan)
+	}
+}
+
+func TestStaticPlanAlternates(t *testing.T) {
+	costs, cfg, _ := skewedCosts(t, 1<<14)
+	if len(costs) < 2 {
+		t.Fatalf("need >= 2 partitions, got %d", len(costs))
+	}
+	plan := StaticPlan(costs, cfg)
+	if !plan.Split {
+		t.Fatalf("static plan with %d partitions should split: %+v", len(costs), plan)
+	}
+	if got := len(plan.CPUParts) + len(plan.GPUParts); got != len(costs) {
+		t.Fatalf("static plan covers %d of %d partitions", got, len(costs))
+	}
+	if d := len(plan.CPUParts) - len(plan.GPUParts); d < 0 || d > 1 {
+		t.Fatalf("round-robin imbalance: %d cpu vs %d gpu", len(plan.CPUParts), len(plan.GPUParts))
+	}
+}

@@ -32,9 +32,14 @@ func DefaultThreads() int {
 }
 
 // Parallel runs fn(worker) on `threads` goroutines and waits for all of
-// them. worker ranges over [0, threads).
+// them. worker ranges over [0, threads). Each worker goroutine is pinned
+// to its OS thread for the duration of fn so that ThreadCPUNs deltas taken
+// inside fn are stable — a migrating goroutine would difference two
+// different threads' CPU clocks.
 func Parallel(threads int, fn func(worker int)) {
 	if threads <= 1 {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
 		fn(0)
 		return
 	}
@@ -43,6 +48,8 @@ func Parallel(threads int, fn func(worker int)) {
 	for w := 0; w < threads; w++ {
 		go func(w int) {
 			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
 			fn(w)
 		}(w)
 	}

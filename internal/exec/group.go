@@ -1,0 +1,45 @@
+package exec
+
+import "sync"
+
+// Group runs a set of goroutines and collects the first error — the
+// errgroup shape, implemented here so the co-processing executor can
+// orchestrate its CPU and GPU sides without a new dependency. Unlike
+// Parallel, the tasks are heterogeneous (one per backend, not one per
+// worker) and may fail independently.
+//
+// Group is deliberately context-free, like Parallel: cancellation is the
+// tasks' business (the join sides poll their own ctx between tasks), and
+// Wait must always join every goroutine regardless of errors so no side
+// keeps writing into shared output state after the caller moves on.
+type Group struct {
+	wg sync.WaitGroup
+
+	mu  sync.Mutex
+	err error //skewlint:guarded-by mu
+}
+
+// Go runs fn on a new goroutine. The first non-nil error across all tasks
+// is retained for Wait; later errors are dropped.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every task started with Go has returned, then reports
+// the first error (nil if all tasks succeeded).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

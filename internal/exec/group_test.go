@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupWaitsForAll(t *testing.T) {
+	var g Group
+	var ran atomic.Int64
+	for i := 0; i < 32; i++ {
+		g.Go(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 goroutines", ran.Load())
+	}
+}
+
+func TestGroupKeepsFirstError(t *testing.T) {
+	errA := errors.New("a")
+	var g Group
+	g.Go(func() error { return errA })
+	if err := g.Wait(); err != errA {
+		t.Fatalf("Wait = %v, want %v", err, errA)
+	}
+}
+
+func TestGroupErrorDoesNotAbortOthers(t *testing.T) {
+	// Unlike a cancelling errgroup, every started function must run to
+	// completion before Wait returns — the co-processing executor relies
+	// on this so a failed backend never leaves the other mid-flush.
+	var g Group
+	var ran atomic.Int64
+	g.Go(func() error { return errors.New("boom") })
+	for i := 0; i < 8; i++ {
+		g.Go(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err == nil {
+		t.Fatal("Wait = nil, want error")
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d of 8 goroutines after error", ran.Load())
+	}
+}
+
+func TestGroupZeroValueWait(t *testing.T) {
+	var g Group
+	if err := g.Wait(); err != nil {
+		t.Fatalf("empty Wait = %v", err)
+	}
+}

@@ -98,6 +98,32 @@ func A100() Config {
 	}
 }
 
+// Coupled returns a configuration modelling an integrated (coupled
+// CPU-GPU architecture) device: a handful of SMs clocked low, sharing
+// memory bandwidth with the host and reached over a cheap on-die link
+// rather than PCIe. It is the device class "Revisiting Co-Processing for
+// Hash Joins on the Coupled CPU-GPU Architecture" studies, where the GPU
+// is only a small multiple faster than the CPU cores — the regime in
+// which splitting one join across both processors pays off. A discrete
+// A100 outruns a single host core by orders of magnitude, so against
+// A100() the split planner correctly degenerates to GPU-only.
+//
+// Zero-valued cost constants inherit the A100 per-operation costs via
+// Defaults(); only the machine shape (SMs, cores, clock, bandwidth,
+// link) differs.
+func Coupled() Config {
+	return Config{
+		NumSMs:          2,
+		CoresPerSM:      32,
+		WarpSize:        32,
+		ThreadsPerBlock: 128,
+		SharedMemBytes:  64 << 10,
+		ClockHz:         0.5e9,
+		GlobalBandwidth: 16e9,
+		PCIeBandwidth:   10e9, // shared-memory staging, not a PCIe bus
+	}
+}
+
 // Defaults fills zero fields from A100().
 func (c Config) Defaults() Config {
 	a := A100()
@@ -479,6 +505,18 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // OutputSummary merges the per-SM output buffers into one run summary.
 func (d *Device) OutputSummary() outbuf.Summary { return outbuf.Summarize(d.bufs) }
+
+// hasFlush reports whether any SM output buffer has a flush consumer
+// installed — the condition under which host-parallel staging must
+// retain full record tapes rather than summary-only scalars.
+func (d *Device) hasFlush() bool {
+	for i := range d.bufs {
+		if d.bufs[i].HasFlush() {
+			return true
+		}
+	}
+	return false
+}
 
 // SetFlush installs a per-SM batch consumer on every output buffer (the
 // volcano-style upper operator). Call before any kernel launch.

@@ -67,6 +67,14 @@ func launchChunk(blocks, workers int) int {
 // issued directly — including flush-batch boundaries.
 func (d *Device) runBlocksParallel(workers, blocks int, kernel func(b *Block), cycles []float64) (sum, maxb float64) {
 	stages := make([]blockStage, blocks)
+	// Without flush consumers the record stream is unobservable, so the
+	// tapes stage only the count and checksum — a skewed launch's output
+	// no longer materialises in host memory (gigabytes at high zipf).
+	if !d.hasFlush() {
+		for i := range stages {
+			stages[i].tape.SummaryOnly()
+		}
+	}
 	chunk := launchChunk(blocks, workers)
 	starts := make([]int, 0, (blocks+chunk-1)/chunk)
 	for lo := 0; lo < blocks; lo += chunk {

@@ -27,7 +27,6 @@ package joinphase
 
 import (
 	"context"
-	"time"
 
 	"skewjoin/internal/chainedtable"
 	"skewjoin/internal/exec"
@@ -59,6 +58,12 @@ type Config struct {
 	// Ctx optionally cancels the phase between join tasks (nil = never).
 	// A cancelled run reports Stats.Canceled and its output is partial.
 	Ctx context.Context
+	// Parts optionally restricts the phase to the listed partition
+	// indices (nil = every partition). The co-processing executor uses it
+	// to join only the CPU-assigned partitions while the rest run on the
+	// simulated GPU. Indices must be valid and duplicate-free; empty
+	// partitions in the list are skipped as usual.
+	Parts []int
 }
 
 // taskQueue abstracts the two queue variants; the per-task dispatch cost is
@@ -166,14 +171,19 @@ type runner struct {
 // doTask executes one join task on worker w: build (arena-recycled, timed),
 // split if oversized, probe (timed). Deliberately not a lint hot path —
 // the phase timers live here, bracketing the marked helpers that are.
+// Build and probe are timed with the per-thread CPU clock, not wall time:
+// on an oversubscribed host (co-processing runs GPU-sim host workers
+// concurrently) wall deltas absorb other threads' time slices and inflate
+// the busy measurement the cost model calibrates against. exec.Parallel
+// pins each drain worker to its OS thread, so the deltas are well-defined.
 func (r *runner) doTask(w *worker, t task) {
 	var table chainedtable.HashTable
 	var sSide []relation.Tuple
 
 	if t.part >= 0 {
-		t0 := time.Now()
+		t0 := exec.ThreadCPUNs()
 		table = w.arena.Build(r.pr.Part(t.part), r.layout)
-		w.buildNs += time.Since(t0).Nanoseconds()
+		w.buildNs += exec.ThreadCPUNs() - t0
 		if mc := table.MaxChain(); mc > w.maxChain {
 			w.maxChain = mc
 		}
@@ -200,13 +210,13 @@ func (r *runner) doTask(w *worker, t task) {
 	}
 
 	before := w.buf.Count()
-	t1 := time.Now()
+	t1 := exec.ThreadCPUNs()
 	if r.probe == chainedtable.ProbeGrouped {
 		w.probeGrouped(table, sSide)
 	} else {
 		w.probeScalar(table, sSide)
 	}
-	w.probeNs += time.Since(t1).Nanoseconds()
+	w.probeNs += exec.ThreadCPUNs() - t1
 	if out := w.buf.Count() - before; out > w.maxTaskOutput {
 		w.maxTaskOutput = out
 	}
@@ -231,8 +241,15 @@ func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 		splitThreshold = int(cfg.SkewFactor * float64(avg))
 	}
 
-	tasks := make([]task, 0, fanout)
-	for p := 0; p < fanout; p++ {
+	parts := cfg.Parts
+	if parts == nil {
+		parts = make([]int, fanout)
+		for p := range parts {
+			parts[p] = p
+		}
+	}
+	tasks := make([]task, 0, len(parts))
+	for _, p := range parts {
 		if pr.Size(p) == 0 || ps.Size(p) == 0 {
 			continue
 		}

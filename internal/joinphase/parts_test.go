@@ -1,0 +1,72 @@
+package joinphase
+
+import (
+	"testing"
+
+	"skewjoin/internal/oracle"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/radix"
+	"skewjoin/internal/zipf"
+)
+
+// runParts joins only the listed partitions and returns the summary.
+func runParts(t *testing.T, pr, ps *radix.Partitioned, parts []int) outbuf.Summary {
+	t.Helper()
+	const threads = 3
+	bufs := make([]*outbuf.Buffer, threads)
+	for i := range bufs {
+		bufs[i] = outbuf.New(0)
+	}
+	Run(pr, ps, Config{Threads: threads, SkewFactor: 4, Parts: parts}, bufs)
+	return outbuf.Summarize(bufs)
+}
+
+func TestPartsSubsetsUnionToFullRun(t *testing.T) {
+	g, err := zipf.New(zipf.Config{Theta: 1.0, Universe: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(20000)
+	want := oracle.Expected(r, s)
+	rcfg := radix.Config{Threads: 3, Bits1: 4, Bits2: 2}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+
+	// Split the fanout into evens and odds: the two subset runs must add
+	// up exactly to the full run (summaries are additive), which is the
+	// property the co-processing merge depends on.
+	var evens, odds []int
+	for p := 0; p < pr.Fanout(); p++ {
+		if p%2 == 0 {
+			evens = append(evens, p)
+		} else {
+			odds = append(odds, p)
+		}
+	}
+	a := runParts(t, pr, ps, evens)
+	b := runParts(t, pr, ps, odds)
+	sum := outbuf.Summary{Count: a.Count + b.Count, Checksum: a.Checksum + b.Checksum}
+	if sum != want {
+		t.Fatalf("evens %+v + odds %+v = %+v, want %+v", a, b, sum, want)
+	}
+
+	full := runParts(t, pr, ps, nil)
+	if full != want {
+		t.Fatalf("nil Parts run %+v, want %+v", full, want)
+	}
+}
+
+func TestPartsEmptyListJoinsNothing(t *testing.T) {
+	g, err := zipf.New(zipf.Config{Theta: 0, Universe: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(1000)
+	rcfg := radix.Config{Threads: 2, Bits1: 3, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	got := runParts(t, pr, ps, []int{})
+	if got.Count != 0 {
+		t.Fatalf("empty Parts produced %d results", got.Count)
+	}
+}

@@ -63,6 +63,7 @@ func DefaultConfig() Config {
 			exec + ".Queue.DrainCtx",
 			exec + ".MutexQueue.Drain",
 			exec + ".MutexQueue.DrainCtx",
+			exec + ".Group.Go",
 		},
 		CtxAllowlist: []string{
 			// The paper's scheduling shapes are deliberately ctx-free:
@@ -72,6 +73,7 @@ func DefaultConfig() Config {
 			exec + ".Parallel",
 			exec + ".Queue.Drain",
 			exec + ".MutexQueue.Drain",
+			exec + ".Group.Go",
 		},
 	}
 }

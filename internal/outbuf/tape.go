@@ -51,14 +51,36 @@ type tapeOp struct {
 // buffered on the tape, which makes its memory proportional to the
 // block's individually emitted output (runs stay cheap); that is the cost
 // of deferring the shared ring writes until the deterministic merge.
+//
+// When no flush consumer is installed on the destination buffers the
+// record stream is unobservable — the ring overwrites, Flush is a no-op,
+// and only the count and linear checksum survive — so SummaryOnly puts
+// the tape in a mode that folds each operation into those two scalars
+// and retains nothing. A skewed launch's output then stages in O(1)
+// memory per block instead of materialising the whole result set.
 type Tape struct {
-	ops     []tapeOp
-	singles []Result
-	count   uint64
+	ops      []tapeOp
+	singles  []Result
+	count    uint64
+	checksum uint64
+	sumOnly  bool
 }
+
+// SummaryOnly switches the tape to summary-only staging: operations
+// accumulate the same count and order-independent checksum a Buffer
+// would, but no records are retained and Replay transfers just the two
+// scalars. Only valid when the destination buffer has no flush consumer
+// (the simulator checks HasFlush before choosing this mode); it must be
+// called before the first push.
+func (t *Tape) SummaryOnly() { t.sumOnly = true }
 
 // Push records one result.
 func (t *Tape) Push(k relation.Key, pr, ps relation.Payload) {
+	if t.sumOnly {
+		t.count++
+		t.checksum += coefKey*uint64(k) + coefPayloadR*uint64(pr) + coefPayloadS*uint64(ps)
+		return
+	}
 	t.singles = append(t.singles, Result{Key: k, PayloadR: pr, PayloadS: ps})
 	t.extendSingles(1)
 }
@@ -67,6 +89,15 @@ func (t *Tape) Push(k relation.Key, pr, ps relation.Payload) {
 // slice is the caller's scratch: its contents are copied.
 func (t *Tape) PushBatch(rs []Result) {
 	if len(rs) == 0 {
+		return
+	}
+	if t.sumOnly {
+		var sum uint64
+		for _, r := range rs {
+			sum += coefKey*uint64(r.Key) + coefPayloadR*uint64(r.PayloadR) + coefPayloadS*uint64(r.PayloadS)
+		}
+		t.count += uint64(len(rs))
+		t.checksum += sum
 		return
 	}
 	t.singles = append(t.singles, rs...)
@@ -92,6 +123,15 @@ func (t *Tape) PushRun(k relation.Key, rps []relation.Payload, ps relation.Paylo
 		return
 	}
 	t.count += uint64(len(rps))
+	if t.sumOnly {
+		var prSum uint64
+		for _, pr := range rps {
+			prSum += uint64(pr)
+		}
+		n := uint64(len(rps))
+		t.checksum += coefPayloadR*prSum + n*(coefKey*uint64(k)+coefPayloadS*uint64(ps))
+		return
+	}
 	t.ops = append(t.ops, tapeOp{kind: opRunR, key: k, ps: ps, run: rps})
 }
 
@@ -102,6 +142,15 @@ func (t *Tape) PushRunS(k relation.Key, pr relation.Payload, sps []relation.Payl
 		return
 	}
 	t.count += uint64(len(sps))
+	if t.sumOnly {
+		var psSum uint64
+		for _, ps := range sps {
+			psSum += uint64(ps)
+		}
+		n := uint64(len(sps))
+		t.checksum += coefPayloadS*psSum + n*(coefKey*uint64(k)+coefPayloadR*uint64(pr))
+		return
+	}
 	t.ops = append(t.ops, tapeOp{kind: opRunS, key: k, pr: pr, run: sps})
 }
 
@@ -114,6 +163,14 @@ func (t *Tape) Count() uint64 { return t.count }
 // a singles run replays through PushBatch, which performs the same
 // per-result ring writes and wrap-time flushes as individual Pushes.
 func (t *Tape) Replay(dst *Buffer) {
+	if t.sumOnly {
+		// Summary-only staging: the destination has no flush consumer, so
+		// the only observable effects of the original pushes are the two
+		// linear scalars. Transfer them directly.
+		dst.count += t.count
+		dst.checksum += t.checksum
+		return
+	}
 	for i := range t.ops {
 		op := &t.ops[i]
 		switch op.kind {
@@ -127,9 +184,10 @@ func (t *Tape) Replay(dst *Buffer) {
 	}
 }
 
-// Reset clears the tape for reuse, keeping its capacity.
+// Reset clears the tape for reuse, keeping its capacity and mode.
 func (t *Tape) Reset() {
 	t.ops = t.ops[:0]
 	t.singles = t.singles[:0]
 	t.count = 0
+	t.checksum = 0
 }

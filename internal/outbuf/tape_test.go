@@ -146,3 +146,45 @@ func TestTapeEmptyRunsSkipped(t *testing.T) {
 		t.Fatalf("empty ops recorded: count %d, %d ops", tape.Count(), len(tape.ops))
 	}
 }
+
+// TestTapeSummaryOnlyMatchesFull drives an identical random operation
+// stream into a full tape and a summary-only tape: after replaying both
+// into fresh consumer-less buffers, count and checksum must agree — and
+// the summary-only tape must have retained no records.
+func TestTapeSummaryOnlyMatchesFull(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		var full, sum Tape
+		sum.SummaryOnly()
+		applyOps(&full, rand.New(rand.NewSource(seed)), 200)
+		applyOps(&sum, rand.New(rand.NewSource(seed)), 200)
+		if full.Count() != sum.Count() {
+			t.Fatalf("seed %d: counts diverge: %d vs %d", seed, full.Count(), sum.Count())
+		}
+		a, b := New(8), New(8)
+		full.Replay(a)
+		sum.Replay(b)
+		if a.Count() != b.Count() || a.Checksum() != b.Checksum() {
+			t.Fatalf("seed %d: summary-only replay (%d, %d) != full replay (%d, %d)",
+				seed, b.Count(), b.Checksum(), a.Count(), a.Checksum())
+		}
+		if len(sum.ops) != 0 || len(sum.singles) != 0 {
+			t.Fatalf("seed %d: summary-only tape retained records: %d ops, %d singles",
+				seed, len(sum.ops), len(sum.singles))
+		}
+	}
+}
+
+// TestTapeSummaryOnlyReset: Reset keeps the mode and clears the scalars.
+func TestTapeSummaryOnlyReset(t *testing.T) {
+	var tape Tape
+	tape.SummaryOnly()
+	tape.Push(1, 2, 3)
+	tape.Reset()
+	if tape.Count() != 0 || tape.checksum != 0 {
+		t.Fatalf("reset left count %d checksum %d", tape.Count(), tape.checksum)
+	}
+	tape.Push(1, 2, 3)
+	if len(tape.singles) != 0 {
+		t.Fatal("summary-only mode lost across Reset")
+	}
+}

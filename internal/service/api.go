@@ -55,9 +55,17 @@ type JoinRequest struct {
 	// "gsh", ...) or asks the planner to choose ("auto", the default).
 	Algorithm string `json:"algorithm,omitempty"`
 	// Backend selects the architecture an `auto` request is planned for:
-	// "cpu" (default, Cbase or CSH) or "gpu" (Gbase or GSH on the
-	// simulator). Ignored when Algorithm is pinned.
+	// "cpu" (default, Cbase or CSH), "gpu" (Gbase or GSH on the
+	// simulator), or "split" (cost-model-driven co-processing: the join is
+	// divided across CPU workers and the simulated GPU, degenerating to a
+	// single backend when the model predicts no win). Ignored when
+	// Algorithm is pinned.
 	Backend string `json:"backend,omitempty"`
+	// Device selects the simulated GPU profile: "a100" (default, the
+	// discrete flagship) or "coupled" (an integrated GPU only a small
+	// multiple faster than the host cores — the regime where splitting
+	// pays off).
+	Device string `json:"device,omitempty"`
 	// Threads is this request's worker-thread weight against the server's
 	// admission budget (default: the whole budget; clamped to it).
 	Threads int `json:"threads,omitempty"`
@@ -111,6 +119,33 @@ type JoinPhaseInfo struct {
 	ProbeMS     float64 `json:"probe_ms"`
 }
 
+// SplitInfo reports how a backend:"split" request distributed its work
+// across the two backends, with the cost model's prediction next to what
+// actually happened. CPU times are host times, GPU times modelled device
+// times (see the engine's SplitStats).
+type SplitInfo struct {
+	// Split is true when both backends ran; otherwise Degenerate names
+	// the single backend the plan fell back to.
+	Split      bool   `json:"split"`
+	Degenerate string `json:"degenerate,omitempty"`
+	// CPUParts / GPUParts count the radix partitions placed on each side.
+	CPUParts int `json:"cpu_parts"`
+	GPUParts int `json:"gpu_parts"`
+	// CPUJoinMS is the CPU side's per-worker busy time; GPUJoinMS /
+	// GPUTransferMS the GPU side's modelled join and staging times.
+	CPUJoinMS     float64 `json:"cpu_join_ms"`
+	GPUJoinMS     float64 `json:"gpu_join_ms"`
+	GPUTransferMS float64 `json:"gpu_transfer_ms"`
+	// MakespanMS is partition + plan + max(cpu side, gpu side);
+	// PredictedMakespanMS is the cost model's forecast of the join-phase
+	// part of it.
+	MakespanMS          float64 `json:"makespan_ms"`
+	PredictedMakespanMS float64 `json:"predicted_makespan_ms"`
+	// Imbalance is max(side)/min(side) when both backends ran, 0
+	// otherwise.
+	Imbalance float64 `json:"imbalance"`
+}
+
 // JoinResponse is the body of a successful POST /join.
 type JoinResponse struct {
 	Algorithm string       `json:"algorithm"`
@@ -129,8 +164,11 @@ type JoinResponse struct {
 	// Rows is set by the "count" consumer; TopKeys by "topk".
 	Rows    *uint64     `json:"rows,omitempty"`
 	TopKeys []KeyWeight `json:"top_keys,omitempty"`
-	// JoinPhase holds join-phase internals for the CPU hash joins.
+	// JoinPhase holds join-phase internals for the CPU hash joins (for
+	// backend:"split", its CPU side).
 	JoinPhase *JoinPhaseInfo `json:"join_phase,omitempty"`
+	// Split holds the co-processing breakdown for backend:"split".
+	Split *SplitInfo `json:"split,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -189,10 +227,36 @@ type AlgorithmStats struct {
 	JoinPhase *JoinPhaseTotals `json:"join_phase,omitempty"`
 }
 
+// SplitTotals aggregates co-processing behaviour across every successful
+// backend:"split" request: how often the plan genuinely split versus
+// degenerated, the cumulative per-backend join-side times, and how well
+// balanced and well predicted the splits were.
+type SplitTotals struct {
+	Requests      uint64 `json:"requests"`
+	SplitRuns     uint64 `json:"split_runs"`
+	DegenerateCPU uint64 `json:"degenerate_cpu"`
+	DegenerateGPU uint64 `json:"degenerate_gpu"`
+	// Cumulative per-backend join-side times (CPU busy / GPU modelled).
+	CPUJoinMS     float64 `json:"cpu_join_ms"`
+	GPUJoinMS     float64 `json:"gpu_join_ms"`
+	GPUTransferMS float64 `json:"gpu_transfer_ms"`
+	// Cumulative actual and predicted join-side makespans (excluding
+	// partition and plan time, unlike the per-request MakespanMS, so
+	// the ratio is apples-to-apples with the model's forecast), for
+	// fleet-level model accuracy: PredictedMakespanMS/MakespanMS near
+	// 1.0 means the cost model is honest.
+	MakespanMS          float64 `json:"makespan_ms"`
+	PredictedMakespanMS float64 `json:"predicted_makespan_ms"`
+	// MaxImbalance is the worst max(side)/min(side) any split run saw.
+	MaxImbalance float64 `json:"max_imbalance"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	Relations  []RelationInfo            `json:"relations"`
 	Admission  AdmissionStats            `json:"admission"`
 	Algorithms map[string]AlgorithmStats `json:"algorithms"`
-	UptimeMS   float64                   `json:"uptime_ms"`
+	// Split aggregates backend:"split" requests; omitted until one runs.
+	Split    *SplitTotals `json:"split,omitempty"`
+	UptimeMS float64      `json:"uptime_ms"`
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"skewjoin"
@@ -70,6 +71,13 @@ type Server struct {
 	rec     *algRecorder
 	mux     *http.ServeMux
 	started time.Time
+
+	// calOnce fits the CPU cost-model constants on the first
+	// backend:"split" request. The constants are host properties, not
+	// workload properties, so one calibration serves the server's
+	// lifetime.
+	calOnce sync.Once
+	cal     skewjoin.Calibration
 }
 
 // New returns a ready-to-serve join server.
@@ -222,9 +230,35 @@ func (s *Server) resolveAlgorithm(req JoinRequest, rStats skewjoin.RelationStats
 		return rec.CPU, info, nil
 	case "gpu":
 		return rec.GPU, info, nil
+	case "split":
+		// The split executor makes its own per-partition placement from
+		// the cost model; the sampling evidence still rides along.
+		return skewjoin.Split, info, nil
 	default:
-		return "", nil, fmt.Errorf("unknown backend %q (want cpu or gpu)", req.Backend)
+		return "", nil, fmt.Errorf("unknown backend %q (want cpu, gpu or split)", req.Backend)
 	}
+}
+
+// resolveDevice maps the request's device profile name to a simulator
+// configuration.
+func resolveDevice(name string) (skewjoin.DeviceConfig, error) {
+	switch name {
+	case "", "a100":
+		return skewjoin.DeviceConfig{}, nil
+	case "coupled":
+		return skewjoin.CoupledDevice(), nil
+	default:
+		return skewjoin.DeviceConfig{}, fmt.Errorf("unknown device %q (want a100 or coupled)", name)
+	}
+}
+
+// calibration returns the host's CPU cost-model constants, fitting them
+// once with a micro-run over the first split request's inputs.
+func (s *Server) calibration(r, sr skewjoin.Relation, threads int) *skewjoin.Calibration {
+	s.calOnce.Do(func() {
+		s.cal = skewjoin.Calibrate(r, sr, threads)
+	})
+	return &s.cal
 }
 
 // consumerSink wires the requested volcano consumer into join options.
@@ -290,6 +324,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	device, err := resolveDevice(req.Device)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	sink, err := buildConsumer(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -325,7 +364,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	wait := time.Since(queuedAt)
 
-	opts := &skewjoin.Options{Threads: weight, Context: ctx}
+	opts := &skewjoin.Options{Threads: weight, Context: ctx, Device: device}
 	// GPU simulation parallelism spends host workers too, so clamp it to
 	// the weight this request was admitted with.
 	if hp := req.HostParallelism; hp != 0 {
@@ -333,6 +372,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			hp = weight
 		}
 		opts.HostParallelism = hp
+	}
+	if alg == skewjoin.Split {
+		opts.Calibration = s.calibration(rEntry.Rel, sEntry.Rel, weight)
 	}
 	if sink != nil {
 		opts.Consumer = sink.factory
@@ -374,6 +416,26 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			ProbeMS:     float64(jp.ProbeNs) / 1e6,
 		}
 	}
+	if st := res.Split; st != nil {
+		s.rec.observeSplit(st)
+		info := &SplitInfo{
+			CPUJoinMS:     float64(st.CPUJoinNs) / 1e6,
+			GPUJoinMS:     float64(st.GPUJoinNs) / 1e6,
+			GPUTransferMS: float64(st.GPUTransferNs) / 1e6,
+			MakespanMS:    float64(st.MakespanNs) / 1e6,
+			Imbalance:     st.Imbalance,
+		}
+		if plan := st.Plan; plan != nil {
+			info.Split = plan.Split
+			if !plan.Split {
+				info.Degenerate = string(plan.Degenerate)
+			}
+			info.CPUParts = len(plan.CPUParts)
+			info.GPUParts = len(plan.GPUParts)
+			info.PredictedMakespanMS = float64(plan.PredictedMakespanNs) / 1e6
+		}
+		resp.Split = info
+	}
 	if sink != nil {
 		sink.collect()
 		sink.finish(&resp)
@@ -391,6 +453,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Relations:  infos,
 		Admission:  s.adm.Snapshot(),
 		Algorithms: s.rec.snapshot(),
+		Split:      s.rec.splitSnapshot(),
 		UptimeMS:   float64(time.Since(s.started)) / float64(time.Millisecond),
 	})
 }

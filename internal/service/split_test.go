@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"skewjoin"
+)
+
+// TestServiceSplitBackend drives backend:"split" end to end: the response
+// must carry the co-processing breakdown, match a direct library call,
+// and show up in the /stats split totals.
+func TestServiceSplitBackend(t *testing.T) {
+	srv := httptest.NewServer(New(Config{ThreadBudget: 2}))
+	defer srv.Close()
+
+	spec := GenerateSpec{N: 20000, Zipf: 1.0, Seed: 42}
+	register(t, srv.URL, "r", spec)
+	spec.Stream = 1
+	register(t, srv.URL, "s", spec)
+
+	r, err := skewjoin.GenerateZipf(spec.N, spec.Zipf, spec.Seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := skewjoin.GenerateZipf(spec.N, spec.Zipf, spec.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := skewjoin.Expected(r, s)
+
+	status, raw := doJSON(t, "POST", srv.URL+"/join", JoinRequest{
+		R: "r", S: "s", Backend: "split", Device: "coupled",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("split join: status %d: %s", status, raw)
+	}
+	var resp JoinResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != string(skewjoin.Split) || !resp.Auto {
+		t.Errorf("algorithm %q auto=%v, want split auto", resp.Algorithm, resp.Auto)
+	}
+	if resp.Matches != want.Matches || resp.Checksum != want.Checksum {
+		t.Errorf("split join: %d/%d, want %d/%d",
+			resp.Matches, resp.Checksum, want.Matches, want.Checksum)
+	}
+	if resp.Split == nil {
+		t.Fatal("response missing split info")
+	}
+	if got := resp.Split.CPUParts + resp.Split.GPUParts; got == 0 {
+		t.Error("split info reports no placed partitions")
+	}
+	if resp.Split.Split && resp.Split.Degenerate != "" {
+		t.Errorf("split info both split and degenerate: %+v", resp.Split)
+	}
+	if !resp.Split.Split && resp.Split.Degenerate == "" {
+		t.Errorf("degenerate plan must name its backend: %+v", resp.Split)
+	}
+	if resp.Split.MakespanMS <= 0 || resp.Split.PredictedMakespanMS <= 0 {
+		t.Errorf("split timings missing: %+v", resp.Split)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.Split == nil {
+		t.Fatal("/stats missing split totals")
+	}
+	if st.Split.Requests != 1 {
+		t.Errorf("split requests = %d, want 1", st.Split.Requests)
+	}
+	if got := st.Split.SplitRuns + st.Split.DegenerateCPU + st.Split.DegenerateGPU; got != 1 {
+		t.Errorf("split outcome counters sum to %d, want 1", got)
+	}
+	if st.Split.MakespanMS <= 0 || st.Split.PredictedMakespanMS <= 0 {
+		t.Errorf("split totals timings missing: %+v", st.Split)
+	}
+	if _, ok := st.Algorithms["split"]; !ok {
+		t.Error("/stats algorithms missing the split entry")
+	}
+}
+
+// TestServiceSplitBadDevice: an unknown device profile is a client error.
+func TestServiceSplitBadDevice(t *testing.T) {
+	srv := httptest.NewServer(New(Config{ThreadBudget: 2}))
+	defer srv.Close()
+	register(t, srv.URL, "r", GenerateSpec{N: 1000, Zipf: 0, Seed: 1})
+	register(t, srv.URL, "s", GenerateSpec{N: 1000, Zipf: 0, Seed: 1, Stream: 1})
+	status, _ := doJSON(t, "POST", srv.URL+"/join", JoinRequest{
+		R: "r", S: "s", Backend: "split", Device: "h100",
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown device: status %d, want 400", status)
+	}
+}

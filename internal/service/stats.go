@@ -101,6 +101,7 @@ func (h *latencyHist) snapshot() AlgorithmStats {
 type algRecorder struct {
 	mu    sync.Mutex
 	hists map[string]*latencyHist //skewlint:guarded-by mu
+	split *SplitTotals            //skewlint:guarded-by mu
 }
 
 func newAlgRecorder() *algRecorder {
@@ -128,6 +129,35 @@ func (r *algRecorder) observeError(alg string) {
 	r.mu.Unlock()
 }
 
+// observeSplit folds one successful backend:"split" run into the
+// co-processing totals.
+func (r *algRecorder) observeSplit(st *skewjoin.SplitStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.split == nil {
+		r.split = &SplitTotals{}
+	}
+	t := r.split
+	t.Requests++
+	if st.Plan != nil {
+		if st.Plan.Split {
+			t.SplitRuns++
+		} else if st.Plan.Degenerate == skewjoin.BackendGPU {
+			t.DegenerateGPU++
+		} else {
+			t.DegenerateCPU++
+		}
+		t.PredictedMakespanMS += float64(st.Plan.PredictedMakespanNs) / 1e6
+	}
+	t.CPUJoinMS += float64(st.CPUJoinNs) / 1e6
+	t.GPUJoinMS += float64(st.GPUJoinNs) / 1e6
+	t.GPUTransferMS += float64(st.GPUTransferNs) / 1e6
+	t.MakespanMS += float64(st.JoinSideNs()) / 1e6
+	if st.Imbalance > t.MaxImbalance {
+		t.MaxImbalance = st.Imbalance
+	}
+}
+
 func (r *algRecorder) snapshot() map[string]AlgorithmStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -136,4 +166,16 @@ func (r *algRecorder) snapshot() map[string]AlgorithmStats {
 		out[alg] = h.snapshot()
 	}
 	return out
+}
+
+// splitSnapshot returns a copy of the co-processing totals, nil if no
+// split request has run.
+func (r *algRecorder) splitSnapshot() *SplitTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.split == nil {
+		return nil
+	}
+	t := *r.split
+	return &t
 }

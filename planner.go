@@ -1,7 +1,9 @@
 package skewjoin
 
 import (
+	"skewjoin/internal/costmodel"
 	"skewjoin/internal/freqtable"
+	"skewjoin/internal/radix"
 	"skewjoin/internal/relation"
 )
 
@@ -26,6 +28,10 @@ type Recommendation struct {
 	TopKeyEstimate int
 	// SampleSize is the number of R tuples inspected.
 	SampleSize int
+	// Split, when the recommendation was produced by RecommendSplit,
+	// carries the per-radix-partition CPU/GPU placement decision for the
+	// co-processing backend; nil otherwise.
+	Split *SplitPlan
 }
 
 // PlannerConfig tunes Recommend. The zero value uses CSH's detection
@@ -54,6 +60,25 @@ func (c PlannerConfig) defaults() PlannerConfig {
 	return c
 }
 
+// stride converts SampleRate into the sampling stride every planner scan
+// uses. Rates above 1.0 are clamped to 1.0 (nothing can be sampled more
+// often than every tuple; previously such rates silently degraded to
+// stride 1, which was accidental rather than defined behaviour). The
+// stride is rounded to nearest instead of truncated, so e.g. rate 0.15
+// gives stride 7 (14.3%) rather than stride 6 (16.7%) — truncation
+// always over-samples, biasing every rate between two divisors upward.
+func (c PlannerConfig) stride() int {
+	rate := c.SampleRate
+	if rate > 1 {
+		rate = 1
+	}
+	stride := int(1/rate + 0.5)
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
 // EstimateOutput estimates the join output cardinality |R ⋈ S| from
 // samples of both tables, using the cross-sample estimator:
 //
@@ -69,10 +94,7 @@ func EstimateOutput(r, s Relation, cfg PlannerConfig) uint64 {
 	if r.Len() == 0 || s.Len() == 0 {
 		return 0
 	}
-	stride := int(1 / cfg.SampleRate)
-	if stride < 1 {
-		stride = 1
-	}
+	stride := cfg.stride()
 	count := func(rel Relation) (*freqtable.Counter, int) {
 		c := freqtable.New(rel.Len()/stride + 1)
 		n := 0
@@ -111,10 +133,7 @@ func RecommendFromStats(st RelationStats, cfg PlannerConfig) Recommendation {
 	if st.Tuples == 0 {
 		return rec
 	}
-	stride := int(1 / cfg.SampleRate)
-	if stride < 1 {
-		stride = 1
-	}
+	stride := cfg.stride()
 	rec.SampleSize = (st.Tuples + stride - 1) / stride
 	rec.TopKeyEstimate = st.MaxKeyFreq
 	expectedSampled := uint32(st.MaxKeyFreq / stride)
@@ -134,10 +153,7 @@ func Recommend(r Relation, cfg PlannerConfig) Recommendation {
 	if r.Len() == 0 {
 		return rec
 	}
-	stride := int(1 / cfg.SampleRate)
-	if stride < 1 {
-		stride = 1
-	}
+	stride := cfg.stride()
 	counter := freqtable.New(r.Len()/stride + 1)
 	var topSampled uint32
 	for i := 0; i < r.Len(); i += stride {
@@ -154,4 +170,128 @@ func Recommend(r Relation, cfg PlannerConfig) Recommendation {
 		rec.CPU, rec.GPU = CSH, GSH
 	}
 	return rec
+}
+
+// SplitPlan is the co-processing placement decision: which radix
+// partitions the CPU joins and which the simulated GPU joins, with the
+// cost model's predictions attached. Produced by RecommendSplit and
+// recorded (as executed) in Result.Split.
+type SplitPlan struct {
+	// Fanout is the radix fanout the partition indices refer to.
+	Fanout int
+	// CPUParts / GPUParts are the partition indices assigned to each
+	// backend, ascending. Every non-empty partition appears exactly once.
+	CPUParts, GPUParts []int
+	// PredictedCPUNs is the predicted CPU-side join time (per-worker busy
+	// time); PredictedGPUNs the predicted modelled GPU-side time
+	// including H2D/D2H staging; PredictedMakespanNs their max — the
+	// predicted join-phase time with both backends overlapped.
+	PredictedCPUNs, PredictedGPUNs, PredictedMakespanNs int64
+	// PredictedCPUOnlyNs / PredictedGPUOnlyNs are the single-backend
+	// controls the split was judged against.
+	PredictedCPUOnlyNs, PredictedGPUOnlyNs int64
+	// Split reports whether both backends are used. When false the plan
+	// degenerated and Degenerate names the backend everything runs on.
+	Split      bool
+	Degenerate Backend
+	// Calibration holds the CPU cost constants the plan was built with.
+	Calibration Calibration
+}
+
+// Recommended returns the backend the plan advises: BackendSplit, or the
+// single backend a degenerate plan falls back to.
+func (p *SplitPlan) Recommended() Backend {
+	if p.Split {
+		return BackendSplit
+	}
+	if p.Degenerate == BackendGPU {
+		return BackendGPU
+	}
+	return BackendCPU
+}
+
+// SplitConfig tunes RecommendSplit. The zero value partitions with the
+// CPU defaults, targets the default (A100) device, and calibrates the
+// CPU constants with a micro-run.
+type SplitConfig struct {
+	// Threads is the CPU worker count the plan divides CPU work over
+	// (default: DefaultThreads).
+	Threads int
+	// Bits1/Bits2 are the radix partitioning bits (defaults 6/5, as Cbase).
+	Bits1, Bits2 uint32
+	// Device is the simulated GPU the plan targets (zero fields = A100).
+	Device DeviceConfig
+	// Calibration optionally supplies pre-fitted CPU cost constants; nil
+	// runs Calibrate on the inputs.
+	Calibration *Calibration
+	// MinWinNs / WinFraction are the degeneration thresholds: a split
+	// must be predicted to beat the better single backend by at least
+	// max(MinWinNs, WinFraction·better) or the plan degenerates
+	// (defaults 25ms and 0.10).
+	MinWinNs    int64
+	WinFraction float64
+}
+
+// RecommendSplit extends Recommend with the co-processing placement
+// decision: it radix-partitions both inputs, predicts every partition's
+// cost on each backend, and plans the two-bin assignment minimizing
+// predicted makespan. The algorithm-choice fields of the returned
+// Recommendation come from Recommend's sampling rule; Split carries the
+// placement.
+func RecommendSplit(r, s Relation, cfg SplitConfig) Recommendation {
+	rec := Recommend(r, PlannerConfig{})
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	bits1, bits2 := cfg.Bits1, cfg.Bits2
+	if bits1 == 0 && bits2 == 0 {
+		bits1, bits2 = 6, 5
+	}
+	bits1, bits2 = radix.ClampBits(bits1, bits2)
+	rcfg := radix.Config{Threads: threads, Bits1: bits1, Bits2: bits2}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+
+	cal := resolveCalibration(cfg.Calibration, r, s, threads)
+	mcfg := costmodel.Config{
+		Device: cfg.Device, Calib: cal, Threads: threads,
+		MinWinNs: float64(cfg.MinWinNs), WinFraction: cfg.WinFraction,
+	}
+	costs := costmodel.Costs(pr, ps, mcfg)
+	plan := costmodel.BuildPlan(costs, mcfg)
+	rec.Split = publicSplitPlan(plan, rcfg.Fanout(), cal)
+	return rec
+}
+
+// resolveCalibration returns *cal if provided, else fits constants with a
+// micro-run on the inputs.
+func resolveCalibration(cal *Calibration, r, s Relation, threads int) Calibration {
+	if cal != nil && cal.Valid() {
+		return *cal
+	}
+	return Calibrate(r, s, threads)
+}
+
+// publicSplitPlan converts the internal plan into the public mirror.
+func publicSplitPlan(plan costmodel.Plan, fanout int, cal Calibration) *SplitPlan {
+	p := &SplitPlan{
+		Fanout:              fanout,
+		CPUParts:            plan.CPUParts,
+		GPUParts:            plan.GPUParts,
+		PredictedCPUNs:      int64(plan.CPUNs),
+		PredictedGPUNs:      int64(plan.GPUNs),
+		PredictedMakespanNs: int64(plan.MakespanNs),
+		PredictedCPUOnlyNs:  int64(plan.CPUOnlyNs),
+		PredictedGPUOnlyNs:  int64(plan.GPUOnlyNs),
+		Split:               plan.Split,
+		Calibration:         cal,
+	}
+	if !plan.Split {
+		p.Degenerate = BackendCPU
+		if plan.Degenerate == costmodel.GPU {
+			p.Degenerate = BackendGPU
+		}
+	}
+	return p
 }

@@ -203,6 +203,19 @@ type Options struct {
 	// latency; the other algorithms check it only between phases. A nil
 	// Context never cancels.
 	Context context.Context
+	// Backend optionally selects the execution backend at the dispatch
+	// level ("cpu", "gpu" or "split"); the service and CLI layers use it
+	// with algorithm "auto". Join itself dispatches on the Algorithm
+	// argument — use the Split algorithm for co-processing.
+	Backend Backend
+	// SplitPolicy selects the Split mode's placement policy (default
+	// SplitPolicyModel, the cost-model placement; SplitPolicyCPU/GPU pin
+	// every partition to one side — the benchmark's control rows).
+	SplitPolicy SplitPolicy
+	// Calibration optionally supplies pre-fitted CPU cost-model constants
+	// for the Split mode; nil calibrates with a micro-run per join (the
+	// service layer caches a calibration in its catalog instead).
+	Calibration *Calibration
 }
 
 // JoinResult is one join output tuple as delivered to consumers.
@@ -254,9 +267,16 @@ type Result struct {
 	// Modelled is true when times come from the GPU cost simulator.
 	Modelled bool
 	// JoinPhase holds join-phase internals for the CPU hash joins (Cbase,
-	// CSH — where it covers the NM-join — and CbaseNPJ); nil for the GPU
+	// CSH — where it covers the NM-join — and CbaseNPJ); for Split it
+	// covers the CPU side of the co-processed join. Nil for the GPU
 	// algorithms and SMJ.
 	JoinPhase *JoinPhaseStats
+	// Split reports the placement, per-backend times and imbalance of a
+	// Split (co-processing) run; nil for every other algorithm. Its CPU
+	// times are host times while its GPU times are modelled device time
+	// (Modelled stays false — the result's own Phases mix both clocks, as
+	// documented on SplitStats).
+	Split *SplitStats
 }
 
 // Summary is a verifiable output digest: cardinality plus checksum.
@@ -356,6 +376,8 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 			return Result{}, ctx.Err()
 		}
 		return wrap(alg, res.Summary, phases(res.Phases), false), nil
+	case Split:
+		return joinSplit(r, s, opts)
 	case GSMJ:
 		res := gsmj.Join(r, s, gsmj.Config{Device: opts.deviceConfig()})
 		if err := ctxErr(ctx); err != nil {
