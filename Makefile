@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke experiments examples serve-smoke clean
+.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke bench-shard bench-shard-smoke experiments examples serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -77,6 +77,23 @@ bench-coproc-smoke:
 	grep -q '"predicted_makespan_ns"' /tmp/BENCH_coproc.json
 	grep -q '"calibration"' /tmp/BENCH_coproc.json
 
+# Sharded-tier sweep (zipf x routing policy on an in-process 3-shard
+# fleet with an A/A hash control); writes the machine-readable baseline
+# committed as BENCH_shard.json. The harness exits non-zero if frag does
+# not beat both hash runs at the deepest skew point, or regresses
+# elsewhere (see internal/bench/shard.go).
+bench-shard:
+	$(GO) run ./cmd/skewbench -exp shard -n 65536 -repeats 3 -out BENCH_shard.json
+
+# Tiny oracle-verified shard run for CI: exercises every (zipf, policy)
+# cell, checks the routing shapes and the deep-skew gate, and asserts the
+# JSON artifact carries the per-shard breakdown.
+bench-shard-smoke:
+	$(GO) run ./cmd/skewbench -exp shard -n 16384 -repeats 2 -out /tmp/BENCH_shard.json
+	grep -q '"makespan_ns"' /tmp/BENCH_shard.json
+	grep -q '"per_shard_ns"' /tmp/BENCH_shard.json
+	grep -q '"resolved"' /tmp/BENCH_shard.json
+
 # Regenerate every table and figure of the paper (plus extensions).
 experiments:
 	$(GO) run ./cmd/skewbench -exp all
@@ -93,6 +110,14 @@ examples:
 # register relations, run an auto join, force a 429, check /stats.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke test of the sharded tier: build the daemon, router and
+# client, start 3 shards plus a router and a single-node control, then
+# assert the fleet's answers (summary, count, topk, both routings) are
+# byte-identical to the single node's, drain a shard gracefully, and
+# check /cluster/stats.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # The artifacts recorded in EXPERIMENTS.md.
 artifacts:

@@ -10,12 +10,15 @@
 //
 // The coproc experiment benchmarks the cost-model-driven CPU/GPU split
 // executor against its pinned single-backend controls on the coupled
-// device profile, writing BENCH_coproc.json via make bench-coproc.
+// device profile, writing BENCH_coproc.json via make bench-coproc. The
+// shard experiment benchmarks the cluster router's fragment-and-replicate
+// routing against hash placement (plus an A/A control) on an in-process
+// 3-shard fleet, writing BENCH_shard.json via make bench-shard.
 //
 // Usage:
 //
 //	skewbench [-exp fig1|fig4a|fig4b|table1|speedup|large|
-//	                analysis|sskew|sortvshash|memory|partition|join|gpu|coproc|all]
+//	                analysis|sskew|sortvshash|memory|partition|join|gpu|coproc|shard|all]
 //	          [-n tuples] [-threads k] [-seed s] [-zipf list] [-shm KiB]
 //	          [-json] [-plot] [-out file.json]
 //
@@ -51,7 +54,7 @@ type plotter interface {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, gpu, coproc, or all")
+		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, gpu, coproc, shard, or all")
 		tuples  = flag.Int("n", 0, "tuples per input table (default $SKEWJOIN_TUPLES or 262144)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
 		seed    = flag.Int64("seed", 42, "workload seed")
@@ -166,6 +169,9 @@ func run(name string, cfg bench.Config) (printer, bool, error) {
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	case "coproc":
 		rep, err := bench.CoprocBench(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "shard":
+		rep, err := bench.ShardBench(cfg)
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	default:
 		return nil, false, fmt.Errorf("unknown experiment %q", name)

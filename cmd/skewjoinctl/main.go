@@ -12,7 +12,10 @@
 //	skewjoinctl drop r
 //
 // The daemon address comes from -addr (before the subcommand) or the
-// SKEWJOIND_ADDR environment variable, defaulting to localhost:8080.
+// SKEWJOIND_ADDR environment variable, defaulting to localhost:8080. The
+// same client talks to a skewrouter: point -addr at the router, use `join
+// -routing` to pin a cluster routing policy and `cluster-stats` for the
+// fleet view.
 package main
 
 import (
@@ -25,12 +28,17 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
+	"time"
 
+	"skewjoin/internal/cluster"
 	"skewjoin/internal/service"
 )
 
 func main() {
-	addr := flag.String("addr", defaultAddr(), "daemon address (host:port)")
+	addr := flag.String("addr", defaultAddr(), "daemon or router address (host:port)")
+	timeout := flag.Duration("timeout", 0, "whole-request timeout (0 = no client-side bound)")
+	retries := flag.Int("retries", 0, "retries on 429/503/transport failures, honouring the server's Retry-After")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -38,7 +46,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: "http://" + *addr}
+	c := &client{
+		base:    "http://" + *addr,
+		hc:      &http.Client{Timeout: *timeout},
+		retries: *retries,
+	}
 	var err error
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "gen":
@@ -53,6 +65,8 @@ func main() {
 		err = c.join(rest)
 	case "stats":
 		err = c.stats()
+	case "cluster-stats":
+		err = c.clusterStats()
 	default:
 		fmt.Fprintf(os.Stderr, "skewjoinctl: unknown command %q\n", cmd)
 		usage()
@@ -72,24 +86,78 @@ func defaultAddr() string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: skewjoinctl [-addr host:port] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: skewjoinctl [-addr host:port] [-timeout D] [-retries N] <command> [args]
 
 commands:
   gen <name> <n> <theta> [-seed N] [-stream N]   register a generated zipf relation
   load <name> <path>                             register a relation file (server-local path)
   relations                                      list the catalog
   drop <name>                                    remove a relation
-  join <r> <s> [-alg A] [-backend cpu|gpu] [-threads N]
-               [-timeout-ms N] [-consumer summary|count|topk] [-k N]
+  join <r> <s> [-alg A] [-backend cpu|gpu] [-threads N] [-timeout-ms N]
+               [-consumer summary|count|topk|groups] [-k N]
+               [-routing auto|hash|frag]         (routing is router-only)
   stats                                          admission counters and latency histograms
+  cluster-stats                                  per-shard fleet view (router only)
 `)
 }
 
-type client struct{ base string }
+type client struct {
+	base    string
+	hc      *http.Client
+	retries int
+}
+
+// httpError is a non-2xx response: the server's own message, the status,
+// and its Retry-After ask when it named one.
+type httpError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *httpError) Error() string {
+	if e.retryAfter > 0 {
+		return fmt.Sprintf("%s (HTTP %d, retry after %v)", e.msg, e.status, e.retryAfter)
+	}
+	return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status)
+}
+
+// retryable mirrors the router's transient class: shed load and gateway
+// failures may clear; other 4xx/5xx are a request bug and retrying would
+// only repeat them.
+func (e *httpError) retryable() bool {
+	switch e.status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
 
 // call sends body (nil for none) and decodes the JSON response into out,
-// turning every non-2xx status into a descriptive error.
+// turning every non-2xx status into a descriptive error. With -retries set
+// it retries transport failures and transient statuses, waiting out the
+// server's Retry-After when one was given.
 func (c *client) call(method, path string, body, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.once(method, path, body, out)
+		if err == nil || attempt >= c.retries {
+			return err
+		}
+		wait := time.Duration(attempt+1) * 200 * time.Millisecond
+		if he, ok := err.(*httpError); ok {
+			if !he.retryable() {
+				return err
+			}
+			if he.retryAfter > wait {
+				wait = he.retryAfter
+			}
+		}
+		fmt.Fprintf(os.Stderr, "skewjoinctl: %v; retrying in %v (%d/%d)\n", err, wait, attempt+1, c.retries)
+		time.Sleep(wait)
+	}
+}
+
+func (c *client) once(method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -105,7 +173,7 @@ func (c *client) call(method, path string, body, out any) error {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -115,11 +183,17 @@ func (c *client) call(method, path string, body, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		he := &httpError{status: resp.StatusCode}
+		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs > 0 {
+			he.retryAfter = time.Duration(secs) * time.Second
+		}
 		var e service.ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+			he.msg = e.Error
+		} else {
+			he.msg = string(bytes.TrimSpace(raw))
 		}
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		return he
 	}
 	if out == nil {
 		return nil
@@ -201,8 +275,9 @@ func (c *client) join(args []string) error {
 	backend := fs.String("backend", "", "auto target: cpu (default) or gpu")
 	threads := fs.Int("threads", 0, "thread weight against the server budget (0 = whole budget)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "request deadline in ms (0 = server default)")
-	consumer := fs.String("consumer", "", "result consumer: summary (default), count, or topk")
+	consumer := fs.String("consumer", "", "result consumer: summary (default), count, topk, or groups")
 	k := fs.Int("k", 0, "heavy-hitter count for -consumer topk")
+	routing := fs.String("routing", "", "cluster routing policy: auto, hash or frag (router only; a plain daemon rejects it)")
 	args, err := splitPositional(fs, args, 2)
 	if err != nil {
 		return fmt.Errorf("join: %v (want: join <r> <s>)", err)
@@ -211,8 +286,9 @@ func (c *client) join(args []string) error {
 		R: args[0], S: args[1],
 		Algorithm: *alg, Backend: *backend, Threads: *threads,
 		TimeoutMS: *timeoutMS, Consumer: *consumer, K: *k,
+		Routing: *routing,
 	}
-	var resp service.JoinResponse
+	var resp cluster.JoinResponse
 	if err := c.call("POST", "/join", req, &resp); err != nil {
 		return err
 	}
@@ -234,6 +310,39 @@ func (c *client) join(args []string) error {
 	}
 	for _, kw := range resp.TopKeys {
 		fmt.Printf("topkey\t%d\tweight=%d\n", kw.Key, kw.Weight)
+	}
+	for _, kw := range resp.Groups {
+		fmt.Printf("group\t%d\tcount=%d\n", kw.Key, kw.Weight)
+	}
+	if cl := resp.Cluster; cl != nil {
+		fmt.Printf("cluster\tpolicy=%s\thot_keys=%d\n", cl.Policy, len(cl.HotKeys))
+		for _, sh := range cl.Shards {
+			fmt.Printf("shard\t%d\tcalls=%d\tmatches=%d\tjoin_ms=%.2f\tbusy_ms=%.2f\n",
+				sh.Shard, sh.Calls, sh.Matches, sh.JoinMS, sh.BusyMS)
+		}
+	}
+	return nil
+}
+
+func (c *client) clusterStats() error {
+	var st cluster.StatsResponse
+	if err := c.call("GET", "/cluster/stats", nil, &st); err != nil {
+		return err
+	}
+	fmt.Printf("fleet\tshards=%d\trelations=%d\tjoins=%d\tshed=%d\n",
+		len(st.Shards), len(st.Relations), st.Joins, st.Shed)
+	for _, sh := range st.Shards {
+		state := "healthy"
+		if !sh.Healthy {
+			state = "unreachable: " + sh.Error
+		}
+		fmt.Printf("shard\t%d\t%s\tewma_join_ms=%.2f\tin_flight=%d\tqueued=%d\t%s\n",
+			sh.Shard, sh.URL, sh.EwmaJoinMS, sh.Admission.InFlight, sh.Admission.Queued, state)
+		if sh.Stats != nil {
+			a := sh.Stats.Admission
+			fmt.Printf("shard\t%d\tadmission\tsubmitted=%d\tadmitted=%d\trejected=%d\tcompleted=%d\n",
+				sh.Shard, a.Submitted, a.Admitted, a.Rejected, a.Completed)
+		}
 	}
 	return nil
 }

@@ -33,6 +33,7 @@ func main() {
 		threads = flag.Int("threads", 0, "worker-thread budget shared by all joins (default all cores)")
 		queue   = flag.Int("queue", 16, "admission queue depth; beyond it requests are shed with 429 (negative disables queueing)")
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline (queue wait + execution)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long SIGTERM waits for in-flight joins before forcing exit")
 		preload = flag.String("preload", "", "comma-separated name=path pairs of relation files to register at startup")
 	)
 	flag.Parse()
@@ -65,16 +66,25 @@ func main() {
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	// Serve until SIGINT/SIGTERM, then drain: stop admitting new joins
+	// (healthz goes not-ready so a router pulls this shard out of
+	// rotation), wait out the in-flight ones bounded by -drain, and only
+	// then close the listener.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		log.Printf("draining (bound %v)", *drain)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if err := srv.DrainJoins(ctx); err != nil {
+			log.Printf("drain: giving up on in-flight joins: %v", err)
+		} else {
+			log.Printf("drained")
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 			httpSrv.Close()

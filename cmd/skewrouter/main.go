@@ -1,0 +1,99 @@
+// Command skewrouter is the cluster front door: a thin router over N
+// skewjoind shards speaking the same HTTP API as a single daemon. It
+// consistent-hashes registered relations across the shards, plans joins
+// from cached statistics (carving heavy hitters out fragment-and-replicate
+// style when the skew pays for it), fans the work out, merges the
+// partials, and sheds load with 429 + Retry-After when the fleet is busy.
+//
+//	skewrouter -addr :8090 -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// Every shard should be a plain skewjoind; the router owns the catalog
+// placement, so register relations through the router, not the shards.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"skewjoin/internal/cluster"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		shards     = flag.String("shards", "", "comma-separated shard base URLs, in ring order (required)")
+		hotFactor  = flag.Float64("hot-factor", 0, "fragment-and-replicate threshold multiplier (default 1.5)")
+		maxHot     = flag.Int("max-hot-keys", 0, "cap on carved-out hot keys per join (default 16)")
+		timeout    = flag.Duration("shard-timeout", 30*time.Second, "per shard-call attempt deadline")
+		retries    = flag.Int("retries", 2, "retry bound for transient shard failures (429/5xx/transport)")
+		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "base back-off between retries (a shard's Retry-After overrides upward)")
+		budget     = flag.Int("shard-budget", 4, "concurrent fleet joins admitted per shard before queueing")
+		queue      = flag.Int("shard-queue", 8, "admission queue depth per shard; beyond it requests are shed with 429 (negative disables queueing)")
+		reqTimeout = flag.Duration("timeout", 60*time.Second, "default whole-request deadline for joins without timeout_ms")
+	)
+	flag.Parse()
+
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "skewrouter: -shards is required (comma-separated shard URLs)")
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+
+	rt, err := cluster.NewRouter(cluster.Config{
+		ShardURLs:      urls,
+		HotFactor:      *hotFactor,
+		MaxHotKeys:     *maxHot,
+		ShardTimeout:   *timeout,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+		ShardBudget:    *budget,
+		ShardQueue:     *queue,
+		DefaultTimeout: *reqTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skewrouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			httpSrv.Close()
+		}
+	}()
+
+	log.Printf("skewrouter listening on %s, %d shards: %s", *addr, len(urls), strings.Join(urls, ", "))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "skewrouter: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

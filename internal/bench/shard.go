@@ -1,0 +1,386 @@
+// Sharded-tier benchmark: the machine-readable artifact for the cluster
+// router's skew-aware routing. cmd/skewbench -exp shard runs it and can
+// write the result as BENCH_shard.json.
+//
+// The harness is fully in-process: it stands up N skewjoind shards as
+// httptest servers plus a router in front of them, registers the paper's
+// zipf workload through the router, and joins it under each routing
+// policy. Three policies run per zipf: "hash" (pure consistent-hash
+// placement), "frag" (fragment-and-replicate for the hot keys), and
+// "hash2" — a second, identical hash run that serves as the A/A control:
+// the hash-vs-hash2 spread is the harness noise floor, committed next to
+// the hash-vs-frag gap so the frag win is legible as signal.
+//
+// The shards time-share the benchmark host's core(s), so the router runs
+// in its serialized measurement mode (Config.SerialJoins): shard calls
+// execute one at a time, each shard's reported execution time measures
+// its share of the join's work undisturbed, and the makespan — the
+// fleet's wall clock with a core per shard — is the slowest shard's sum.
+// The per-shard NM-join busy time (build+probe, thread-CPU clock) rides
+// along as a secondary column.
+//
+// The harness gates two properties. At the sweep's deepest skew point
+// (the largest zipf >= 1.0) frag's makespan must beat BOTH hash runs —
+// the win must clear the A/A spread. At every other zipf frag must stay
+// within a small factor of the worse hash run: below the knee it resolves
+// to hash placement and must not drift, and at the knee itself the win
+// is real only at scale (at the committed n=65536 frag beats hash from
+// zipf 1.0 on; at smoke sizes the extra per-call overhead of six shard
+// calls can eat the margin, which is a fixed cost, not a regression).
+// Every run is verified against the join oracle. Violations land in
+// Errors and fail the run.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"skewjoin"
+	"skewjoin/internal/cluster"
+	"skewjoin/internal/oracle"
+	"skewjoin/internal/service"
+)
+
+// ShardCell is one measured (zipf, policy) combination on the fixed shard
+// fleet, under the serialized fan-out (see the package comment).
+type ShardCell struct {
+	Zipf   float64 `json:"zipf"`
+	Policy string  `json:"policy"`
+	// Resolved is the routing the router actually executed ("hash" or
+	// "frag"); HotKeys is how many keys frag carved out.
+	Resolved string `json:"resolved"`
+	HotKeys  int    `json:"hot_keys"`
+	// Calls is the number of shard /join calls the plan issued (shards
+	// for hash; up to 2x shards for frag).
+	Calls int `json:"calls"`
+	// MakespanNS is the slowest shard's summed execution time under the
+	// serialized fan-out — the join's wall clock on a fleet with a core
+	// per shard. Minimum across repeats; the breakdown below belongs to
+	// that fastest run.
+	MakespanNS int64 `json:"makespan_ns"`
+	// TotalNS sums all shards; frag pays replication here.
+	TotalNS    int64   `json:"total_ns"`
+	PerShardNS []int64 `json:"per_shard_ns"`
+	// Imbalance is max/min per-shard execution time (0 when a shard was
+	// idle).
+	Imbalance float64 `json:"imbalance,omitempty"`
+	// NMBusyNS is the fleet-wide build+probe thread-CPU time of the
+	// NM-join phases, for context (csh does its heavy-hitter work in the
+	// partition phase, which this column deliberately excludes).
+	NMBusyNS int64 `json:"nm_busy_ns"`
+}
+
+// ShardReport is the full sharded-tier benchmark: the committed
+// BENCH_shard.json is exactly this structure.
+type ShardReport struct {
+	Tuples   int         `json:"tuples"`
+	Seed     int64       `json:"seed"`
+	Shards   int         `json:"shards"`
+	Repeats  int         `json:"repeats"`
+	Zipfs    []float64   `json:"zipfs"`
+	Policies []string    `json:"policies"`
+	Cells    []ShardCell `json:"cells"`
+	Errors   []string    `json:"errors,omitempty"`
+}
+
+// shardZipfs: uniform and moderate skew (where hash placement is already
+// balanced and frag must not regress), the paper's full-skew point and
+// slightly beyond (where the hot key's quadratic output swamps its owner
+// shard and frag has to win).
+var shardZipfs = []float64{0.0, 0.75, 1.0, 1.1}
+
+// shardPolicies maps the benchmark's policy labels to the routing the
+// request carries; hash2 is the A/A control.
+var shardPolicies = []struct{ label, routing string }{
+	{"hash", "hash"},
+	{"frag", "frag"},
+	{"hash2", "hash"},
+}
+
+const shardCount = 3
+
+// ShardBench measures the cluster router across zipf and routing policy
+// on an in-process 3-shard fleet.
+func ShardBench(cfg Config) (*ShardReport, error) {
+	zipfs := shardZipfs
+	if len(cfg.Zipfs) > 0 && len(cfg.Zipfs) != 11 {
+		zipfs = cfg.Zipfs
+	}
+	cfg = cfg.Defaults()
+	// The anchor point — where frag's win is gated strictly — is the
+	// sweep's deepest skew at or beyond the knee.
+	anchorZipf := 0.0
+	for _, z := range zipfs {
+		if z >= 1.0 && z > anchorZipf {
+			anchorZipf = z
+		}
+	}
+
+	var shardTS []*httptest.Server
+	defer func() {
+		for _, ts := range shardTS {
+			ts.Close()
+		}
+	}()
+	urls := make([]string, shardCount)
+	for i := range urls {
+		ts := httptest.NewServer(service.New(service.Config{ThreadBudget: 2, MaxQueue: 32}))
+		shardTS = append(shardTS, ts)
+		urls[i] = ts.URL
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		ShardURLs:    urls,
+		ShardTimeout: 5 * time.Minute,
+		SerialJoins:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	router := httptest.NewServer(rt)
+	defer router.Close()
+
+	rep := &ShardReport{
+		Tuples:  cfg.Tuples,
+		Seed:    cfg.Seed,
+		Shards:  shardCount,
+		Repeats: cfg.Repeats,
+		Zipfs:   zipfs,
+	}
+	for _, p := range shardPolicies {
+		rep.Policies = append(rep.Policies, p.label)
+	}
+
+	for _, z := range zipfs {
+		// The same streams the shards generate, regenerated locally for
+		// the ground truth.
+		rRel, err := skewjoin.GenerateZipf(cfg.Tuples, z, cfg.Seed, 1)
+		if err != nil {
+			return nil, err
+		}
+		sRel, err := skewjoin.GenerateZipf(cfg.Tuples, z, cfg.Seed, 2)
+		if err != nil {
+			return nil, err
+		}
+		want := oracle.Expected(rRel, sRel)
+
+		rName := fmt.Sprintf("bench_r_%03d", int(z*100))
+		sName := fmt.Sprintf("bench_s_%03d", int(z*100))
+		for name, stream := range map[string]int64{rName: 1, sName: 2} {
+			if err := shardCall(router.URL, "POST", "/relations", service.RegisterRequest{
+				Name:     name,
+				Generate: &service.GenerateSpec{N: cfg.Tuples, Zipf: z, Seed: cfg.Seed, Stream: stream},
+			}, nil, http.StatusCreated); err != nil {
+				return nil, err
+			}
+		}
+
+		// One untimed warmup per routing: the first join against a fresh
+		// relation pays one-off costs (page faults, fragment shipping)
+		// that belong to neither policy's steady state.
+		for _, routing := range []string{"hash", "frag"} {
+			if err := shardCall(router.URL, "POST", "/join", service.JoinRequest{
+				R: rName, S: sName, Routing: routing,
+			}, &cluster.JoinResponse{}, http.StatusOK); err != nil {
+				return nil, err
+			}
+		}
+
+		group := make([]ShardCell, 0, len(shardPolicies))
+		for _, p := range shardPolicies {
+			cell := ShardCell{Zipf: z, Policy: p.label}
+			for it := 0; it < cfg.Repeats; it++ {
+				var resp cluster.JoinResponse
+				if err := shardCall(router.URL, "POST", "/join", service.JoinRequest{
+					R: rName, S: sName, Routing: p.routing,
+				}, &resp, http.StatusOK); err != nil {
+					return nil, err
+				}
+				if resp.Matches != want.Count || resp.Checksum != want.Checksum {
+					rep.Errors = append(rep.Errors, fmt.Sprintf(
+						"%s @ zipf %.2f: output (%d, %#x) != oracle (%d, %#x)",
+						p.label, z, resp.Matches, resp.Checksum, want.Count, want.Checksum))
+					continue
+				}
+				foldShard(&cell, &resp, rep)
+			}
+			group = append(group, cell)
+		}
+		checkShardGroup(group, z == anchorZipf && z >= 1.0, rep)
+		rep.Cells = append(rep.Cells, group...)
+
+		for _, name := range []string{rName, sName} {
+			if err := shardCall(router.URL, "DELETE", "/relations/"+name, nil, nil, http.StatusNoContent); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// foldShard folds one verified run into its cell, keeping the run with
+// the smallest makespan.
+func foldShard(c *ShardCell, resp *cluster.JoinResponse, rep *ShardReport) {
+	if resp.Cluster == nil {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(
+			"%s @ zipf %.2f: response missing cluster breakdown", c.Policy, c.Zipf))
+		return
+	}
+	cl := resp.Cluster
+	work := make([]int64, len(cl.Shards))
+	var makespan, total, busy int64
+	calls := 0
+	for i, sh := range cl.Shards {
+		work[i] = int64(sh.JoinMS * 1e6)
+		total += work[i]
+		if work[i] > makespan {
+			makespan = work[i]
+		}
+		busy += int64(sh.BusyMS * 1e6)
+		calls += sh.Calls
+	}
+	if c.MakespanNS != 0 && makespan >= c.MakespanNS {
+		return
+	}
+	c.Resolved = cl.Policy
+	c.HotKeys = len(cl.HotKeys)
+	c.Calls = calls
+	c.MakespanNS = makespan
+	c.TotalNS = total
+	c.PerShardNS = work
+	c.NMBusyNS = busy
+	min := makespan
+	for _, b := range work {
+		if b < min {
+			min = b
+		}
+	}
+	if min > 0 {
+		c.Imbalance = float64(makespan) / float64(min)
+	} else {
+		c.Imbalance = 0
+	}
+}
+
+// shardMaxRegression bounds frag at the non-anchor zipf points: it must
+// not exceed shardMaxRegression times the worse hash run.
+const shardMaxRegression = 1.15
+
+// checkShardGroup gates one zipf group. anchor marks the sweep's deepest
+// skew point, where frag must beat both hash runs (the win must clear the
+// A/A spread); elsewhere frag must stay within shardMaxRegression of the
+// worse hash run. Everywhere the router's auto threshold must have
+// resolved frag to the expected shape — no hot keys below the paper's
+// skew knee, some at or above it.
+func checkShardGroup(group []ShardCell, anchor bool, rep *ShardReport) {
+	var frag *ShardCell
+	worstHash, bestHash := int64(0), int64(0)
+	for i := range group {
+		c := &group[i]
+		switch c.Policy {
+		case "frag":
+			frag = c
+		default:
+			if c.MakespanNS > worstHash {
+				worstHash = c.MakespanNS
+			}
+			if bestHash == 0 || c.MakespanNS < bestHash {
+				bestHash = c.MakespanNS
+			}
+		}
+	}
+	if frag == nil || frag.MakespanNS == 0 || bestHash == 0 {
+		return
+	}
+	if frag.Zipf >= 1.0 && frag.HotKeys == 0 {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(
+			"frag @ zipf %.2f: carved out no hot keys at full skew", frag.Zipf))
+	}
+	if frag.Zipf < 1.0 && frag.HotKeys != 0 {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(
+			"frag @ zipf %.2f: carved out %d hot keys below the skew knee", frag.Zipf, frag.HotKeys))
+	}
+	if anchor {
+		if frag.MakespanNS >= bestHash {
+			rep.Errors = append(rep.Errors, fmt.Sprintf(
+				"frag @ zipf %.2f: makespan %s does not beat the better hash run %s (A/A spread %s..%s)",
+				frag.Zipf,
+				FormatDuration(time.Duration(frag.MakespanNS)),
+				FormatDuration(time.Duration(bestHash)),
+				FormatDuration(time.Duration(bestHash)),
+				FormatDuration(time.Duration(worstHash))))
+		}
+	} else if float64(frag.MakespanNS) > shardMaxRegression*float64(worstHash) {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(
+			"frag @ zipf %.2f: makespan %s exceeds %.0f%% of the worse hash run %s",
+			frag.Zipf,
+			FormatDuration(time.Duration(frag.MakespanNS)),
+			shardMaxRegression*100,
+			FormatDuration(time.Duration(worstHash))))
+	}
+}
+
+// shardCall is the harness's tiny HTTP client: JSON in, JSON out, one
+// expected status.
+func shardCall(base, method, path string, reqBody, out any, wantStatus int) error {
+	var body io.Reader
+	if reqBody != nil {
+		raw, err := json.Marshal(reqBody)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, base+path, body)
+	if err != nil {
+		return err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Fprint renders the report: one block per zipf, one line per policy with
+// the busy-time makespan, the per-shard spread, and the plan shape.
+func (rep *ShardReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== sharded-tier benchmark (n=%d, %d shards, best of %d) ==\n",
+		rep.Tuples, rep.Shards, rep.Repeats)
+	fmt.Fprintf(w, "makespan = slowest shard's execution time under serialized fan-out; hash2 is the A/A control\n")
+	for _, z := range rep.Zipfs {
+		fmt.Fprintf(w, "-- zipf %.2f --\n", z)
+		for _, c := range rep.Cells {
+			if c.Zipf != z {
+				continue
+			}
+			fmt.Fprintf(w, "%-6s %-5s hot=%-3d calls=%-2d  makespan %10s  total %10s  imbalance %5.2f\n",
+				c.Policy, c.Resolved, c.HotKeys, c.Calls,
+				FormatDuration(time.Duration(c.MakespanNS)),
+				FormatDuration(time.Duration(c.TotalNS)),
+				c.Imbalance)
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(w, "VERIFICATION FAILED: %s\n", e)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"skewjoin/internal/service"
+)
+
+// maxShardBody bounds how much of a shard response the router will read;
+// sized for inline relation payloads (extract responses), far above any
+// join response.
+const maxShardBody = 64 << 20
+
+// shardClient issues JSON calls against one shard with a per-attempt
+// timeout and bounded retries on the transient ShardError class, honouring
+// the shard's Retry-After when it names one.
+type shardClient struct {
+	shard   int
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// do runs one JSON request against the shard, retrying transient failures
+// up to the configured bound. Non-nil errors are always *ShardError.
+// Registration retries can land after a lost success and surface as 409;
+// that is not retryable by design — the router treats a duplicate fragment
+// as already-shipped where it knows the payload is deterministic.
+func (c *shardClient) do(ctx context.Context, method, path string, body, out any) error {
+	for attempt := 0; ; attempt++ {
+		serr := c.once(ctx, method, path, body, out)
+		if serr == nil {
+			return nil
+		}
+		if attempt >= c.retries || !serr.Retryable() || ctx.Err() != nil {
+			return serr
+		}
+		// Linear back-off, overridden upward by the shard's own ask.
+		wait := c.backoff * time.Duration(attempt+1)
+		if ra := time.Duration(serr.RetryAfter) * time.Second; ra > wait {
+			wait = ra
+		}
+		select {
+		case <-ctx.Done():
+			return serr
+		case <-time.After(wait):
+		}
+	}
+}
+
+func (c *shardClient) once(ctx context.Context, method, path string, body, out any) *ShardError {
+	fail := func(status int, err error) *ShardError {
+		return &ShardError{Shard: c.shard, URL: c.base, Status: status, Err: err}
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fail(0, err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(cctx, method, c.base+path, rd)
+	if err != nil {
+		return fail(0, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fail(0, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		return fail(resp.StatusCode, fmt.Errorf("read response: %w", err))
+	}
+	if resp.StatusCode/100 != 2 {
+		se := fail(resp.StatusCode, nil)
+		if ra, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && ra > 0 {
+			se.RetryAfter = ra
+		}
+		var er service.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			se.Err = errors.New(er.Error)
+		} else {
+			se.Err = fmt.Errorf("%s", strings.TrimSpace(string(raw)))
+		}
+		return se
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fail(resp.StatusCode, fmt.Errorf("decode response: %w", err))
+		}
+	}
+	return nil
+}

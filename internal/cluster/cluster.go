@@ -1,0 +1,120 @@
+// Package cluster implements the sharded deployment tier: a thin router
+// (cmd/skewrouter) in front of N skewjoind shards, all speaking the
+// single-node service API. The router consistent-hashes the relation
+// catalog across the shards at registration time, plans joins from the
+// catalog's cached statistics, fans the work out, and merges the partial
+// results into a response indistinguishable from a single node.
+//
+// Skew handling follows the paper's fragment-and-replicate rule lifted to
+// fleet scale. Under plain hash routing a heavy hitter's entire output —
+// quadratic in the key's frequency — lands on the key's one owner shard,
+// so a skewed join is as slow as its hottest shard. When the cached
+// statistics predict that a key's output exceeds its fair per-shard share,
+// the router carves the hot keys out: the build side's hot tuples are
+// broadcast to every shard, the probe side's hot tuples are split evenly
+// across shards, and every shard joins its hash fragments with those keys
+// excluded plus the replicated-build × split-probe fragment pair. Equal
+// keys on both sides are required for a match, so the excluded-vs-kept
+// cross terms are empty and the partials merge additively — the fleet
+// result is exact, only the placement of the hot keys' work changes.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+
+	"skewjoin/internal/service"
+)
+
+// ShardError describes a failed call against one shard: which shard, the
+// HTTP status if the shard answered (0 for transport failures), and the
+// parsed Retry-After when the shard asked to be called back later. It is
+// the error class the router's bounded retry dispatches on.
+type ShardError struct {
+	Shard      int
+	URL        string
+	Status     int // HTTP status; 0 when the request never got a response
+	RetryAfter int // seconds from the Retry-After header, 0 if absent
+	Err        error
+}
+
+func (e *ShardError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("shard %d (%s): status %d: %v", e.Shard, e.URL, e.Status, e.Err)
+	}
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.URL, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Retryable reports whether the failure is transient: transport errors
+// (the connection died, possibly mid-restart) and the shard's own
+// back-off statuses. 4xx responses other than 429 are the router's or
+// client's bug and retrying would only repeat them.
+func (e *ShardError) Retryable() bool {
+	switch e.Status {
+	case 0:
+		return true
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// JoinResponse is the router's join reply: the single-node response fields
+// (so single-node clients and diff-based tests work unchanged) plus the
+// per-shard breakdown.
+type JoinResponse struct {
+	service.JoinResponse
+	Cluster *JoinInfo `json:"cluster,omitempty"`
+}
+
+// JoinInfo reports how the fleet executed one join.
+type JoinInfo struct {
+	// Policy is the routing the join actually ran with: "hash" or "frag"
+	// (an "auto" request resolves to one of the two).
+	Policy string `json:"policy"`
+	// HotKeys are the keys the frag policy carved out (empty under hash).
+	HotKeys []uint32        `json:"hot_keys,omitempty"`
+	Shards  []ShardJoinInfo `json:"shards"`
+}
+
+// ShardJoinInfo is one shard's share of a fleet join.
+type ShardJoinInfo struct {
+	Shard   int    `json:"shard"`
+	Calls   int    `json:"calls"`
+	Matches uint64 `json:"matches"`
+	// JoinMS sums the shard's per-call wall-clock execution times; BusyMS
+	// sums the build+probe CPU time its workers reported (thread-CPU
+	// clock), which stays meaningful when shards time-share host cores.
+	JoinMS float64 `json:"join_ms"`
+	BusyMS float64 `json:"busy_ms"`
+}
+
+// StatsResponse is the body of GET /cluster/stats: fleet-level counters
+// plus every shard's own /stats snapshot and the router's view of it.
+type StatsResponse struct {
+	Shards    []ShardStats           `json:"shards"`
+	Relations []service.RelationInfo `json:"relations"`
+	Joins     uint64                 `json:"joins"`
+	Shed      uint64                 `json:"shed"`
+	UptimeMS  float64                `json:"uptime_ms"`
+}
+
+// ShardStats is one shard's entry in the cluster stats aggregation.
+type ShardStats struct {
+	Shard   int    `json:"shard"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// EwmaJoinMS is the router's moving average of the shard's join-call
+	// latency (the Retry-After estimate is derived from it).
+	EwmaJoinMS float64 `json:"ewma_join_ms"`
+	// Admission is the router-side per-shard admission view; Stats is the
+	// shard's own snapshot (nil when the shard was unreachable).
+	Admission service.AdmissionStats `json:"admission"`
+	Stats     *service.StatsResponse `json:"stats,omitempty"`
+}

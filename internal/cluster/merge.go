@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"sort"
+
+	"skewjoin/internal/relation"
+	"skewjoin/internal/service"
+	"skewjoin/internal/volcano"
+)
+
+// Partial is the merge-relevant slice of one shard call's join response.
+// A fleet join produces one Partial per (shard, fragment-pair) call; Merge
+// folds them into the single-node-equivalent totals.
+type Partial struct {
+	Matches  uint64
+	Checksum uint64
+	Rows     *uint64
+	Groups   []service.KeyWeight
+}
+
+// PartialOf extracts the mergeable fields from a shard join response.
+func PartialOf(r service.JoinResponse) Partial {
+	return Partial{Matches: r.Matches, Checksum: r.Checksum, Rows: r.Rows, Groups: r.Groups}
+}
+
+// Merge combines the partials of one fleet join. The fragment pairs
+// partition the match set — every (r-tuple, s-tuple) match has equal keys,
+// so it appears in exactly one cold hash-fragment join or exactly one
+// replicated×split hot call — which makes matches, the order-independent
+// checksum, and streamed row counts plain sums (the checksum wraps mod
+// 2^64 exactly as the single-node accumulation does). Group counts merge
+// by key; the result keeps the ascending-key order the service emits.
+func Merge(parts []Partial) Partial {
+	var out Partial
+	var rows uint64
+	haveRows := false
+	groups := make(map[uint32]uint64)
+	for _, p := range parts {
+		out.Matches += p.Matches
+		out.Checksum += p.Checksum
+		if p.Rows != nil {
+			haveRows = true
+			rows += *p.Rows
+		}
+		for _, g := range p.Groups {
+			groups[g.Key] += g.Weight
+		}
+	}
+	if haveRows {
+		out.Rows = &rows
+	}
+	if len(groups) > 0 {
+		out.Groups = sortedGroups(groups)
+	}
+	return out
+}
+
+// TopK selects the k heaviest keys of merged group counts, heaviest first
+// with ascending-key ties. Fleet top-k is computed this way — shards
+// return exact per-key counts and the router selects over the merged map —
+// so the result is exact and deterministic, unlike a single node's
+// Misra-Gries sketch whose counters depend on how workers interleave.
+func TopK(groups []service.KeyWeight, k int) []service.KeyWeight {
+	counts := make(map[relation.Key]uint64, len(groups))
+	for _, g := range groups {
+		counts[relation.Key(g.Key)] += g.Weight
+	}
+	top := volcano.SelectTop(counts, k)
+	out := make([]service.KeyWeight, 0, len(top))
+	for _, kw := range top {
+		out = append(out, service.KeyWeight{Key: uint32(kw.Key), Weight: kw.Weight})
+	}
+	return out
+}
+
+func sortedGroups(m map[uint32]uint64) []service.KeyWeight {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]service.KeyWeight, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, service.KeyWeight{Key: k, Weight: m[k]})
+	}
+	return out
+}

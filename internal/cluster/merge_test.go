@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"testing"
+
+	"skewjoin/internal/csh"
+	"skewjoin/internal/oracle"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/relation"
+	"skewjoin/internal/service"
+	"skewjoin/internal/volcano"
+	"skewjoin/internal/zipf"
+)
+
+// joinPartial runs one fragment-pair join the way a shard would — groups
+// consumer through the volcano sink — and returns its mergeable partial.
+func joinPartial(t *testing.T, r, s relation.Relation) Partial {
+	t.Helper()
+	one := func(outbuf.Result) uint64 { return 1 }
+	root := volcano.NewGroupSum(one)
+	factory, collect := volcano.Sink(root, func() volcano.Consumer { return volcano.NewGroupSum(one) })
+	res := csh.Join(r, s, csh.Config{Threads: 2, Flush: factory})
+	collect()
+	rows := res.Summary.Count
+	groups := make(map[uint32]uint64, len(root.Groups))
+	for k, c := range root.Groups {
+		groups[uint32(k)] = c
+	}
+	return Partial{
+		Matches:  res.Summary.Count,
+		Checksum: res.Summary.Checksum,
+		Rows:     &rows,
+		Groups:   sortedGroups(groups),
+	}
+}
+
+func exclude(rel relation.Relation, hot map[relation.Key]struct{}) relation.Relation {
+	var out relation.Relation
+	for _, tp := range rel.Tuples {
+		if _, cut := hot[tp.Key]; !cut {
+			out.Tuples = append(out.Tuples, tp)
+		}
+	}
+	return out
+}
+
+func only(rel relation.Relation, hot map[relation.Key]struct{}) relation.Relation {
+	var out relation.Relation
+	for _, tp := range rel.Tuples {
+		if _, keep := hot[tp.Key]; keep {
+			out.Tuples = append(out.Tuples, tp)
+		}
+	}
+	return out
+}
+
+// TestMergeEqualsSingleNodeForAnyPartitioning is the property behind the
+// router's correctness: partition a join the cluster's way — hash
+// fragments with the hot keys carved out, a replicated build fragment
+// joined against round-robin probe splits — under varying shard counts and
+// hot-set sizes, and the merged partials must reproduce the single-node
+// summary, row count, exact groups, and top-k.
+func TestMergeEqualsSingleNodeForAnyPartitioning(t *testing.T) {
+	const n = 20000
+	g, err := zipf.New(zipf.Config{Theta: 1.0, Universe: n, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := g.Pair(n)
+
+	want := oracle.Expected(r, s)
+	wantGroups := exactGroups(r, s)
+	wantTop := TopK(wantGroups, 5)
+
+	stats := relation.ComputeStats(r)
+	for _, tc := range []struct {
+		name   string
+		shards int
+		nHot   int
+	}{
+		{"2shards-nohot", 2, 0},
+		{"3shards-1hot", 3, 1},
+		{"3shards-4hot", 3, 4},
+		{"5shards-16hot", 5, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			hot := make(map[relation.Key]struct{}, tc.nHot)
+			for _, kf := range stats.TopKeys[:tc.nHot] {
+				hot[kf.Key] = struct{}{}
+			}
+			ring := NewRing(tc.shards, 32)
+			rParts := ring.Partition(r)
+			sParts := ring.Partition(s)
+			hotR := only(r, hot)
+			hotS := only(s, hot)
+
+			var parts []Partial
+			// Cold calls: each shard joins its hash fragments minus the
+			// hot keys.
+			for i := 0; i < tc.shards; i++ {
+				parts = append(parts, joinPartial(t, exclude(rParts[i], hot), exclude(sParts[i], hot)))
+			}
+			// Hot calls: the replicated build side against each shard's
+			// round-robin probe split.
+			if len(hot) > 0 {
+				for i := 0; i < tc.shards; i++ {
+					var split relation.Relation
+					for j := i; j < hotS.Len(); j += tc.shards {
+						split.Tuples = append(split.Tuples, hotS.Tuples[j])
+					}
+					if split.Len() == 0 {
+						continue
+					}
+					parts = append(parts, joinPartial(t, hotR, split))
+				}
+			}
+
+			merged := Merge(parts)
+			if merged.Matches != want.Count || merged.Checksum != want.Checksum {
+				t.Fatalf("merged summary (%d, %#x) != single-node (%d, %#x)",
+					merged.Matches, merged.Checksum, want.Count, want.Checksum)
+			}
+			if merged.Rows == nil || *merged.Rows != want.Count {
+				t.Fatalf("merged rows %v != %d", merged.Rows, want.Count)
+			}
+			if len(merged.Groups) != len(wantGroups) {
+				t.Fatalf("merged %d groups, single-node has %d", len(merged.Groups), len(wantGroups))
+			}
+			for i := range wantGroups {
+				if merged.Groups[i] != wantGroups[i] {
+					t.Fatalf("group[%d] = %+v, want %+v", i, merged.Groups[i], wantGroups[i])
+				}
+			}
+			gotTop := TopK(merged.Groups, 5)
+			for i := range wantTop {
+				if gotTop[i] != wantTop[i] {
+					t.Fatalf("topk[%d] = %+v, want %+v", i, gotTop[i], wantTop[i])
+				}
+			}
+		})
+	}
+}
+
+// exactGroups computes per-key output counts in closed form.
+func exactGroups(r, s relation.Relation) []service.KeyWeight {
+	fr := relation.KeyFrequencies(r)
+	fs := relation.KeyFrequencies(s)
+	m := make(map[uint32]uint64)
+	for k, a := range fr {
+		if b, ok := fs[k]; ok {
+			m[uint32(k)] = uint64(a) * uint64(b)
+		}
+	}
+	return sortedGroups(m)
+}
+
+func TestMergeEmptyAndRowless(t *testing.T) {
+	out := Merge(nil)
+	if out.Matches != 0 || out.Rows != nil || out.Groups != nil {
+		t.Errorf("Merge(nil) = %+v, want zero value", out)
+	}
+	out = Merge([]Partial{{Matches: 3, Checksum: 5}, {Matches: 4, Checksum: 7}})
+	if out.Matches != 7 || out.Checksum != 12 || out.Rows != nil {
+		t.Errorf("summary-only merge = %+v", out)
+	}
+}

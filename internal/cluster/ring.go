@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"sort"
+
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/relation"
+)
+
+// Ring is a consistent-hash ring mapping keys to shards. Each shard owns
+// `vnodes` points on the ring; a key belongs to the shard owning the first
+// point at or after Mix32(key). The layout is a pure function of (shards,
+// vnodes), so a restarted router reconstructs the same ownership the
+// fleet's catalog was partitioned under.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// DefaultVNodes is the per-shard virtual-node count. 64 points per shard
+// keeps the expected ownership imbalance within a few percent for small
+// fleets without making Owner's binary search noticeable.
+const DefaultVNodes = 64
+
+// NewRing builds the ring for `shards` shards with `vnodes` points each
+// (values < 1 fall back to 1 shard / DefaultVNodes).
+func NewRing(shards, vnodes int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	pts := make([]ringPoint, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			// Mix32 is bijective, so distinct (shard, vnode) packings get
+			// distinct ring positions — no tie-breaking needed.
+			pts = append(pts, ringPoint{hash: hashfn.Mix32(uint32(s)<<16 | uint32(v)), shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].hash < pts[j].hash })
+	return &Ring{points: pts, shards: shards}
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning key k.
+func (r *Ring) Owner(k uint32) int {
+	h := hashfn.Mix32(k)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Partition splits rel into one fragment per shard by key ownership,
+// preserving relative tuple order within each fragment. Every tuple of a
+// key lands on the key's one owner shard — the invariant the router's
+// hot-key extraction relies on.
+func (r *Ring) Partition(rel relation.Relation) []relation.Relation {
+	out := make([]relation.Relation, r.shards)
+	for _, t := range rel.Tuples {
+		o := r.Owner(uint32(t.Key))
+		out[o].Tuples = append(out[o].Tuples, t)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+
+	"skewjoin/internal/relation"
+	"skewjoin/internal/zipf"
+)
+
+func TestRingOwnerStableAndBalanced(t *testing.T) {
+	a := NewRing(5, 64)
+	b := NewRing(5, 64)
+	counts := make([]int, 5)
+	for k := uint32(0); k < 20000; k++ {
+		o := a.Owner(k)
+		if o < 0 || o >= 5 {
+			t.Fatalf("Owner(%d) = %d, out of range", k, o)
+		}
+		if bo := b.Owner(k); bo != o {
+			t.Fatalf("Owner(%d) differs between identical rings: %d vs %d", k, o, bo)
+		}
+		counts[o]++
+	}
+	// 64 vnodes keep the expected share within a loose factor-of-two band;
+	// anything wilder means the ring construction is broken.
+	for s, c := range counts {
+		if c < 2000 || c > 8000 {
+			t.Errorf("shard %d owns %d of 20000 keys — ring badly imbalanced: %v", s, c, counts)
+		}
+	}
+}
+
+func TestRingPartitionPreservesTuplesAndOwnership(t *testing.T) {
+	g, err := zipf.New(zipf.Config{Theta: 0.9, Universe: 1 << 12, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := g.Pair(1 << 12)
+	ring := NewRing(3, 32)
+	parts := ring.Partition(r)
+	total := 0
+	seen := make(map[relation.Key]int)
+	for i, p := range parts {
+		total += p.Len()
+		for _, tp := range p.Tuples {
+			if ring.Owner(uint32(tp.Key)) != i {
+				t.Fatalf("tuple with key %d landed on shard %d, owner is %d", tp.Key, i, ring.Owner(uint32(tp.Key)))
+			}
+			if prev, ok := seen[tp.Key]; ok && prev != i {
+				t.Fatalf("key %d split across shards %d and %d", tp.Key, prev, i)
+			}
+			seen[tp.Key] = i
+		}
+	}
+	if total != r.Len() {
+		t.Errorf("partitions hold %d tuples, input had %d", total, r.Len())
+	}
+}

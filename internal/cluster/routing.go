@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"skewjoin/internal/hashfn"
+	"skewjoin/internal/service"
+)
+
+// hotSet is one join's fragment-and-replicate decision: the keys carved
+// out of hash routing, and the tag naming the fragment generation derived
+// from them (fragments are cached per (relation, tag), so two joins over
+// the same relations with the same hot set reuse the shipped fragments).
+type hotSet struct {
+	keys []uint32 // ascending
+	tag  string   // 8-hex digest of the sorted key set
+}
+
+func (h hotSet) empty() bool { return len(h.keys) == 0 }
+
+// hotKeys applies the fragment-and-replicate rule at fleet scale. Hash
+// routing sends a key's entire output — freqR(k)·freqS(k) matches — to its
+// one owner shard, while the fleet's fair share per shard is the total
+// output over the shard count. A key is hot when its output reaches
+// `factor` times that fair share:
+//
+//	freqR(k) · freqS(k) ≥ factor · totalEst / shards
+//
+// Frequencies come from the catalog's cached TopKeys; a key missing from
+// one side's heavy hitters is assumed to have that side's mean frequency.
+// totalEst sums the known heavy pairs plus a uniform estimate for the
+// tails. At factor 1.5 a uniform workload (every pair ≈ total/distinct)
+// flags nothing, while a zipf(≥1.0) top key — whose output alone is a
+// large fraction of the join — always clears the bar.
+func hotKeys(r, s service.RelationInfo, shards int, factor float64, maxHot int) hotSet {
+	if shards < 2 || maxHot < 1 || r.Tuples == 0 || s.Tuples == 0 {
+		return hotSet{}
+	}
+	fr := freqMap(r)
+	fs := freqMap(s)
+	avgR := float64(r.Tuples) / float64(maxInt(r.DistinctKeys, 1))
+	avgS := float64(s.Tuples) / float64(maxInt(s.DistinctKeys, 1))
+	pair := func(k uint32) float64 {
+		fv, ok := fr[k]
+		if !ok {
+			fv = avgR
+		}
+		gv, ok := fs[k]
+		if !ok {
+			gv = avgS
+		}
+		return fv * gv
+	}
+	union := make(map[uint32]struct{}, len(fr)+len(fs))
+	var headR, headS float64
+	for k, f := range fr {
+		union[k] = struct{}{}
+		headR += f
+	}
+	for k, f := range fs {
+		union[k] = struct{}{}
+		headS += f
+	}
+	var headEst float64
+	for k := range union {
+		headEst += pair(k)
+	}
+	// The tails — tuples below both top-key cutoffs — are modelled as
+	// uniform over the larger distinct count.
+	tailPairs := (float64(r.Tuples) - headR) * (float64(s.Tuples) - headS) /
+		float64(maxInt(maxInt(r.DistinctKeys, s.DistinctKeys), 1))
+	total := headEst + tailPairs
+	if total <= 0 {
+		return hotSet{}
+	}
+	threshold := factor * total / float64(shards)
+
+	hot := make([]uint32, 0, maxHot)
+	for k := range union {
+		if pair(k) >= threshold {
+			hot = append(hot, k)
+		}
+	}
+	if len(hot) == 0 {
+		return hotSet{}
+	}
+	// Keep the heaviest maxHot, then fix the set's order (ascending key)
+	// so the tag — and with it the fragment cache — is deterministic.
+	sort.Slice(hot, func(i, j int) bool {
+		pi, pj := pair(hot[i]), pair(hot[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return hot[i] < hot[j]
+	})
+	if len(hot) > maxHot {
+		hot = hot[:maxHot]
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	return hotSet{keys: hot, tag: hotTag(hot)}
+}
+
+// hotTag digests a sorted key set into the 8-hex fragment-generation tag.
+func hotTag(keys []uint32) string {
+	acc := uint64(len(keys))
+	for _, k := range keys {
+		acc = hashfn.Mix64(acc ^ uint64(k))
+	}
+	return fmt.Sprintf("%08x", uint32(acc^acc>>32))
+}
+
+func freqMap(info service.RelationInfo) map[uint32]float64 {
+	m := make(map[uint32]float64, len(info.TopKeys))
+	for _, kf := range info.TopKeys {
+		m[kf.Key] = float64(kf.Freq)
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

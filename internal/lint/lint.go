@@ -55,6 +55,7 @@ type Config struct {
 // allowlist, and its queue-draining entry points are the spawner set.
 func DefaultConfig() Config {
 	const exec = "skewjoin/internal/exec"
+	const cluster = "skewjoin/internal/cluster"
 	return Config{
 		CtxSpawners: []string{
 			exec + ".Parallel",
@@ -64,6 +65,10 @@ func DefaultConfig() Config {
 			exec + ".MutexQueue.Drain",
 			exec + ".MutexQueue.DrainCtx",
 			exec + ".Group.Go",
+			// The cluster router's shard fan-out spawns one goroutine per
+			// shard; every closure it runs must take and pass the ctx so
+			// a fleet deadline reaches each shard call.
+			cluster + ".fanOut",
 		},
 		CtxAllowlist: []string{
 			// The paper's scheduling shapes are deliberately ctx-free:

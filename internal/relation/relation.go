@@ -100,7 +100,23 @@ type Stats struct {
 	MaxKeyFreq   int    // number of tuples sharing the most popular key
 	MaxKey       Key    // the most popular key
 	PayloadSum   uint64 // sum of payload column, for cheap integrity checks
+	// TopKeys are the heaviest keys (up to MaxTopKeys), by descending
+	// frequency with ascending-key tie-break. The cluster router's
+	// fragment-and-replicate rule is driven by this list: a key that
+	// would overload its hash-owner shard is spotted from the cached
+	// catalog statistics without rescanning the relation.
+	TopKeys []KeyFreq
 }
+
+// KeyFreq is one heavy-hitter entry of Stats.TopKeys.
+type KeyFreq struct {
+	Key  Key
+	Freq int
+}
+
+// MaxTopKeys bounds Stats.TopKeys. Fragment-and-replicate only ever pays
+// off for a handful of dominating keys, so the cache stays tiny.
+const MaxTopKeys = 16
 
 // ComputeStats scans the relation once and returns its key distribution
 // statistics.
@@ -119,7 +135,42 @@ func ComputeStats(r Relation) Stats {
 			s.MaxKey = k
 		}
 	}
+	s.TopKeys = topKeys(freq, MaxTopKeys)
 	return s
+}
+
+// topKeys selects the k heaviest entries of freq, heaviest first, ties
+// broken towards the smaller key so the list is deterministic.
+func topKeys(freq map[Key]int, k int) []KeyFreq {
+	if len(freq) == 0 {
+		return nil
+	}
+	heavier := func(a, b KeyFreq) bool {
+		if a.Freq != b.Freq {
+			return a.Freq > b.Freq
+		}
+		return a.Key < b.Key
+	}
+	// Bounded insertion into a k-sized list: the map can be huge but k is
+	// a small constant, so this stays O(n·k) with no full sort.
+	top := make([]KeyFreq, 0, k)
+	for key, f := range freq {
+		e := KeyFreq{Key: key, Freq: f}
+		if len(top) == k && !heavier(e, top[k-1]) {
+			continue
+		}
+		i := len(top)
+		if i < k {
+			top = append(top, e)
+		} else {
+			i = k - 1
+			top[i] = e
+		}
+		for ; i > 0 && heavier(top[i], top[i-1]); i-- {
+			top[i], top[i-1] = top[i-1], top[i]
+		}
+	}
+	return top
 }
 
 // KeyFrequencies returns the exact frequency of every key in the relation.

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -53,7 +54,7 @@ func TestShufflePreservesMultiset(t *testing.T) {
 	before := ComputeStats(r)
 	r.Shuffle(rand.New(rand.NewSource(1)))
 	after := ComputeStats(r)
-	if before != after {
+	if !reflect.DeepEqual(before, after) {
 		t.Errorf("stats changed: %+v -> %+v", before, after)
 	}
 }
@@ -122,5 +123,43 @@ func TestQuickStatsConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestComputeStatsTopKeys(t *testing.T) {
+	// 20 distinct keys with frequency = key value: top-16 must be keys
+	// 20..5 in descending frequency order.
+	var r Relation
+	for k := 1; k <= 20; k++ {
+		for i := 0; i < k; i++ {
+			r.Tuples = append(r.Tuples, Tuple{Key: Key(k), Payload: 0})
+		}
+	}
+	st := ComputeStats(r)
+	if len(st.TopKeys) != MaxTopKeys {
+		t.Fatalf("TopKeys length = %d, want %d", len(st.TopKeys), MaxTopKeys)
+	}
+	for i, kf := range st.TopKeys {
+		want := Key(20 - i)
+		if kf.Key != want || kf.Freq != int(want) {
+			t.Errorf("TopKeys[%d] = %+v, want key %d freq %d", i, kf, want, want)
+		}
+	}
+	if st.TopKeys[0].Key != st.MaxKey || st.TopKeys[0].Freq != st.MaxKeyFreq {
+		t.Errorf("TopKeys[0] %+v disagrees with MaxKey %d / MaxKeyFreq %d", st.TopKeys[0], st.MaxKey, st.MaxKeyFreq)
+	}
+}
+
+func TestComputeStatsTopKeysTieBreak(t *testing.T) {
+	r := FromPairs([]Key{9, 3, 7, 3, 9, 7}, make([]Payload, 6))
+	st := ComputeStats(r)
+	want := []KeyFreq{{3, 2}, {7, 2}, {9, 2}}
+	if len(st.TopKeys) != len(want) {
+		t.Fatalf("TopKeys = %+v, want %+v", st.TopKeys, want)
+	}
+	for i := range want {
+		if st.TopKeys[i] != want[i] {
+			t.Errorf("TopKeys[%d] = %+v, want %+v", i, st.TopKeys[i], want[i])
+		}
 	}
 }

@@ -25,9 +25,10 @@ type Admission struct {
 	maxQueue int
 
 	mu       sync.Mutex
-	inUse    int       //skewlint:guarded-by mu
-	inFlight int       //skewlint:guarded-by mu
-	waiters  []*waiter //skewlint:guarded-by mu
+	idle     *sync.Cond // broadcast whenever inFlight or the queue shrinks
+	inUse    int        //skewlint:guarded-by mu
+	inFlight int        //skewlint:guarded-by mu
+	waiters  []*waiter  //skewlint:guarded-by mu
 
 	submitted       uint64 //skewlint:guarded-by mu
 	admitted        uint64 //skewlint:guarded-by mu
@@ -51,7 +52,9 @@ func NewAdmission(budget, maxQueue int) *Admission {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &Admission{budget: budget, maxQueue: maxQueue}
+	a := &Admission{budget: budget, maxQueue: maxQueue}
+	a.idle = sync.NewCond(&a.mu)
+	return a
 }
 
 // Budget returns the total worker-thread budget.
@@ -122,6 +125,7 @@ func (a *Admission) Acquire(ctx context.Context, weight int) (release func(), er
 			}
 			a.rejectedTimeout++
 		}
+		a.idle.Broadcast()
 		a.mu.Unlock()
 		return nil, ctx.Err()
 	}
@@ -156,9 +160,39 @@ func (a *Admission) releaseFunc(weight int) func() {
 			a.inFlight--
 			a.completed++
 			a.grantWaitersLocked()
+			a.idle.Broadcast()
 			a.mu.Unlock()
 		})
 	}
+}
+
+// WaitIdle blocks until no request is in flight or queued, or ctx is done
+// (returning its error). It is the drain primitive behind graceful
+// shutdown: the daemon stops admitting new joins, then waits here —
+// bounded by the drain deadline — for the in-flight ones to finish.
+func (a *Admission) WaitIdle(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	// Cond has no ctx support; a watcher goroutine wakes the waiter when
+	// the deadline fires so an over-long join cannot block shutdown.
+	go func() {
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.idle.Broadcast()
+			a.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.inFlight > 0 || len(a.waiters) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a.idle.Wait()
+	}
+	return nil
 }
 
 // Snapshot returns a consistent view of the controller's gauges and

@@ -13,14 +13,16 @@
 // catalog's cached statistics.
 package service
 
-// RegisterRequest is the body of POST /relations. Exactly one of Path and
-// Generate must be set: Path loads a binary relation file written by
-// cmd/datagen from the server's filesystem; Generate builds a zipf
-// relation in place.
+// RegisterRequest is the body of POST /relations. Exactly one of Path,
+// Generate and Data must be set: Path loads a binary relation file written
+// by cmd/datagen from the server's filesystem; Generate builds a zipf
+// relation in place; Data carries the relation inline (base64 of the same
+// binary format) — the cluster router ships shard fragments this way.
 type RegisterRequest struct {
 	Name     string        `json:"name"`
 	Path     string        `json:"path,omitempty"`
 	Generate *GenerateSpec `json:"generate,omitempty"`
+	Data     string        `json:"data,omitempty"`
 }
 
 // GenerateSpec describes an in-place zipf relation (the paper's workload
@@ -43,7 +45,33 @@ type RelationInfo struct {
 	DistinctKeys int    `json:"distinct_keys"`
 	MaxKey       uint32 `json:"max_key"`
 	MaxKeyFreq   int    `json:"max_key_freq"`
-	RegisteredAt string `json:"registered_at"` // RFC 3339
+	// TopKeys are the relation's cached heavy hitters (up to 16), by
+	// descending frequency. The cluster router's fragment-and-replicate
+	// rule reads them straight from the catalog.
+	TopKeys      []KeyFreqInfo `json:"top_keys,omitempty"`
+	RegisteredAt string        `json:"registered_at"` // RFC 3339
+}
+
+// KeyFreqInfo is one heavy-hitter entry of RelationInfo.TopKeys.
+type KeyFreqInfo struct {
+	Key  uint32 `json:"key"`
+	Freq int    `json:"freq"`
+}
+
+// ExtractRequest is the body of POST /relations/{name}/extract: it asks
+// for every tuple of the named relation whose key is in Keys, in relation
+// order. The cluster router uses it to pull a hot key's tuples off the
+// key's hash-owner shard before broadcasting them (fragment-and-replicate).
+type ExtractRequest struct {
+	Keys []uint32 `json:"keys"`
+}
+
+// ExtractResponse carries the extracted tuples in the binary relation
+// format, base64-encoded.
+type ExtractResponse struct {
+	Name   string `json:"name"`
+	Tuples int    `json:"tuples"`
+	Data   string `json:"data"`
 }
 
 // JoinRequest is the body of POST /join.
@@ -80,11 +108,26 @@ type JoinRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Consumer selects the volcano upper operator consuming the output:
 	// "summary" (default; match count + checksum only), "count" (streamed
-	// row count through a volcano.Count sink), or "topk" (heavy-hitter
-	// keys of the join output).
+	// row count through a volcano.Count sink), "topk" (heavy-hitter keys
+	// of the join output, Misra-Gries lower bounds), or "groups" (exact
+	// per-key output counts through a volcano.GroupSum sink; memory and
+	// response size are O(distinct output keys) — the cluster router
+	// merges these into exact fleet-wide top-k results).
 	Consumer string `json:"consumer,omitempty"`
 	// K is the heavy-hitter count for Consumer "topk" (default 5).
 	K int `json:"k,omitempty"`
+	// ExcludeKeys drops every tuple carrying one of these keys from both
+	// inputs before the join runs. The cluster router carves the hot keys
+	// out of a shard's hash fragments this way while their tuples run
+	// through the replicated/split fragments instead; since a result
+	// requires equal keys on both sides, excluded-vs-kept cross terms are
+	// empty and partial results merge without double counting.
+	ExcludeKeys []uint32 `json:"exclude_keys,omitempty"`
+	// Routing is a cluster-router field ("hash", "frag" or "auto"); a
+	// single-node server rejects requests that set it so a client pointed
+	// at the wrong tier fails loudly instead of silently ignoring the
+	// routing policy it asked for.
+	Routing string `json:"routing,omitempty"`
 }
 
 // PhaseInfo is one timed phase of the executed join.
@@ -161,9 +204,11 @@ type JoinResponse struct {
 	// execution time (also what the /stats histograms record).
 	WaitMS float64 `json:"wait_ms"`
 	JoinMS float64 `json:"join_ms"`
-	// Rows is set by the "count" consumer; TopKeys by "topk".
+	// Rows is set by the "count" consumer; TopKeys by "topk"; Groups by
+	// "groups" (exact per-key output counts, ascending key order).
 	Rows    *uint64     `json:"rows,omitempty"`
 	TopKeys []KeyWeight `json:"top_keys,omitempty"`
+	Groups  []KeyWeight `json:"groups,omitempty"`
 	// JoinPhase holds join-phase internals for the CPU hash joins (for
 	// backend:"split", its CPU side).
 	JoinPhase *JoinPhaseInfo `json:"join_phase,omitempty"`

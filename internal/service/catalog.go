@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,7 +28,7 @@ type Entry struct {
 
 // Info returns the entry's wire form.
 func (e *Entry) Info() RelationInfo {
-	return RelationInfo{
+	info := RelationInfo{
 		Name:         e.Name,
 		Source:       e.Source,
 		Tuples:       e.Stats.Tuples,
@@ -37,6 +38,10 @@ func (e *Entry) Info() RelationInfo {
 		MaxKeyFreq:   e.Stats.MaxKeyFreq,
 		RegisteredAt: e.RegisteredAt.UTC().Format(time.RFC3339),
 	}
+	for _, kf := range e.Stats.TopKeys {
+		info.TopKeys = append(info.TopKeys, KeyFreqInfo{Key: uint32(kf.Key), Freq: kf.Freq})
+	}
+	return info
 }
 
 // Catalog is the server's relation store: named, immutable-once-registered
@@ -98,6 +103,20 @@ func (c *Catalog) RegisterFile(name, path string) (*Entry, error) {
 		return nil, err
 	}
 	return c.Register(name, rel, "file:"+path)
+}
+
+// RegisterData parses a relation shipped inline in the binary format
+// (cmd/datagen's) and registers it under name. The cluster router ships
+// shard fragments — hash partitions and hot-key replica/split fragments —
+// through this path, so unlike the other registration modes an empty
+// relation is legal (a small relation's fragment can be empty on some
+// shards).
+func (c *Catalog) RegisterData(name string, data []byte) (*Entry, error) {
+	var rel skewjoin.Relation
+	if _, err := rel.ReadFrom(bytes.NewReader(data)); err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	return c.Register(name, rel, "data")
 }
 
 // RegisterZipf generates a zipf relation in place and registers it.

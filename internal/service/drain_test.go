@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDrainRefusesNewWork pins the drain contract: once BeginDrain is
+// called, healthz turns not-ready and join/register are refused with 503 +
+// Retry-After, while DrainJoins waits for in-flight work (simulated here by
+// holding the admission slot directly) and honours its deadline.
+func TestDrainRefusesNewWork(t *testing.T) {
+	srv := New(Config{ThreadBudget: 1, MaxQueue: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	register(t, ts.URL, "r", GenerateSpec{N: 1 << 10, Zipf: 0.5, Seed: 1, Stream: 0})
+	register(t, ts.URL, "s", GenerateSpec{N: 1 << 10, Zipf: 0.5, Seed: 1, Stream: 1})
+
+	// Hold the single admission slot: an in-flight join in miniature.
+	release, err := srv.adm.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.BeginDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+
+	status, raw := doJSON(t, "POST", ts.URL+"/join", JoinRequest{R: "r", S: "s"})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("draining join status = %d, want 503: %s", status, raw)
+	}
+	status, raw = doJSON(t, "POST", ts.URL+"/relations",
+		RegisterRequest{Name: "late", Generate: &GenerateSpec{N: 64, Zipf: 0, Seed: 9}})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("draining register status = %d, want 503: %s", status, raw)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/join", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("draining join response carries no Retry-After")
+	}
+
+	// With the slot still held, a deadlined drain must report the deadline.
+	short, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := srv.DrainJoins(short); err == nil {
+		t.Error("DrainJoins returned nil while a join was in flight")
+	}
+
+	// Once the in-flight work releases, the drain completes promptly.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		release()
+	}()
+	long, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.DrainJoins(long); err != nil {
+		t.Errorf("DrainJoins after release: %v", err)
+	}
+}
+
+// TestDrainLetsInFlightJoinFinish drives the real path: a join admitted
+// before BeginDrain runs to completion and returns 200 even though the
+// server refuses everything that arrives after the drain began.
+func TestDrainLetsInFlightJoinFinish(t *testing.T) {
+	srv := New(Config{ThreadBudget: 1, MaxQueue: 0})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	register(t, ts.URL, "r", GenerateSpec{N: 1 << 15, Zipf: 1.0, Seed: 3, Stream: 0})
+	register(t, ts.URL, "s", GenerateSpec{N: 1 << 15, Zipf: 1.0, Seed: 3, Stream: 1})
+
+	type result struct {
+		status int
+		raw    []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, raw := doJSON(t, "POST", ts.URL+"/join", JoinRequest{R: "r", S: "s"})
+		done <- result{status, raw}
+	}()
+
+	// Wait until the join is admitted (or already finished — the
+	// assertions below hold either way, so this cannot flake).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := srv.adm.Snapshot()
+		if st.InFlight > 0 || st.Completed > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv.BeginDrain()
+	if status, _ := doJSON(t, "POST", ts.URL+"/join", JoinRequest{R: "r", S: "s"}); status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain join status = %d, want 503", status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.DrainJoins(ctx); err != nil {
+		t.Fatalf("DrainJoins: %v", err)
+	}
+	res := <-done
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight join status = %d, want 200: %s", res.status, res.raw)
+	}
+}

@@ -1,15 +1,21 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skewjoin"
+	"skewjoin/internal/outbuf"
+	"skewjoin/internal/relation"
 	"skewjoin/internal/volcano"
 )
 
@@ -57,13 +63,14 @@ func (c Config) defaults() Config {
 //
 // Endpoints:
 //
-//	POST   /relations        register a relation (file path or zipf spec)
-//	GET    /relations        list catalog entries with cached stats
-//	GET    /relations/{name} one catalog entry
-//	DELETE /relations/{name} drop a relation
-//	POST   /join             run a join (auto-planned or pinned)
-//	GET    /stats            counters, catalog, latency histograms
-//	GET    /healthz          liveness probe
+//	POST   /relations                register a relation (path, zipf spec, or inline data)
+//	GET    /relations                list catalog entries with cached stats
+//	GET    /relations/{name}         one catalog entry
+//	DELETE /relations/{name}         drop a relation
+//	POST   /relations/{name}/extract pull the tuples of a key set (cluster hot-key shipping)
+//	POST   /join                     run a join (auto-planned or pinned)
+//	GET    /stats                    counters, catalog, latency histograms
+//	GET    /healthz                  liveness/readiness probe (503 while draining)
 type Server struct {
 	cfg     Config
 	catalog *Catalog
@@ -78,6 +85,11 @@ type Server struct {
 	// lifetime.
 	calOnce sync.Once
 	cal     skewjoin.Calibration
+
+	// draining flips on BeginDrain: new joins and registrations are
+	// refused with 503 while in-flight joins run to completion, and
+	// healthz reports not-ready so a router stops sending work here.
+	draining atomic.Bool
 }
 
 // New returns a ready-to-serve join server.
@@ -95,9 +107,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /relations", s.handleListRelations)
 	s.mux.HandleFunc("GET /relations/{name}", s.handleGetRelation)
 	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDropRelation)
+	s.mux.HandleFunc("POST /relations/{name}/extract", s.handleExtract)
 	s.mux.HandleFunc("POST /join", s.handleJoin)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
@@ -107,14 +126,45 @@ func New(cfg Config) *Server {
 // Catalog exposes the relation catalog (the daemon preloads through it).
 func (s *Server) Catalog() *Catalog { return s.catalog }
 
+// BeginDrain puts the server into draining mode: healthz turns not-ready
+// and new joins/registrations are refused with 503 + Retry-After, while
+// requests already admitted keep running. Call it on SIGTERM, then bound
+// the wait with DrainJoins before closing the listener, so a router doing
+// a rolling restart sees a clean refusal instead of a dropped connection.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainJoins blocks until every in-flight join has finished or ctx is
+// done (returning its error). Callers almost always want a deadline on
+// ctx: a wedged join must not hold the process open forever.
+func (s *Server) DrainJoins(ctx context.Context) error {
+	return s.adm.WaitIdle(ctx)
+}
+
+// refuseDraining writes the 503 a draining server answers mutating
+// requests with; the Retry-After covers a typical rolling-restart.
+func refuseDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "2")
+	writeError(w, http.StatusServiceUnavailable, "server is draining for shutdown")
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// maxBodyBytes bounds request bodies; every request body here is a small
-// JSON document.
-const maxBodyBytes = 1 << 20
+// maxBodyBytes bounds request bodies. Most bodies are small JSON
+// documents, but inline data registration (the cluster router shipping
+// shard fragments) carries a base64 relation, so the bound is sized for
+// fragment payloads rather than plain control messages.
+const maxBodyBytes = 16 << 20
+
+// maxExcludeKeys bounds the per-request exclude_keys list: the router
+// excludes at most its hot-key cap (a handful of keys), so anything large
+// is a malformed client, not a workload.
+const maxExcludeKeys = 1024
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -139,8 +189,22 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		refuseDraining(w)
+		return
+	}
 	var req RegisterRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	modes := 0
+	for _, set := range []bool{req.Path != "", req.Generate != nil, req.Data != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		writeError(w, http.StatusBadRequest, "set exactly one of path, generate and data")
 		return
 	}
 	var (
@@ -148,9 +212,6 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		err   error
 	)
 	switch {
-	case req.Path != "" && req.Generate != nil:
-		writeError(w, http.StatusBadRequest, "set exactly one of path and generate")
-		return
 	case req.Path != "":
 		if !s.cfg.AllowPathLoading {
 			writeError(w, http.StatusForbidden, "path loading is disabled on this server")
@@ -160,8 +221,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	case req.Generate != nil:
 		entry, err = s.catalog.RegisterZipf(req.Name, *req.Generate)
 	default:
-		writeError(w, http.StatusBadRequest, "set exactly one of path and generate")
-		return
+		raw, decErr := base64.StdEncoding.DecodeString(req.Data)
+		if decErr != nil {
+			writeError(w, http.StatusBadRequest, "register: data is not valid base64: %v", decErr)
+			return
+		}
+		entry, err = s.catalog.RegisterData(req.Name, raw)
 	}
 	if err != nil {
 		status := http.StatusBadRequest
@@ -200,6 +265,48 @@ func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleExtract returns the named relation's tuples whose key is in the
+// request's key set, in relation order, as an inline binary relation. Each
+// hot key's tuples live wholly on the key's hash-owner shard, so the
+// cluster router assembles a hot key's replica fragment with one extract
+// call against that owner.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.catalog.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "relation %q not registered", name)
+		return
+	}
+	var req ExtractRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Keys) > maxExcludeKeys {
+		writeError(w, http.StatusBadRequest, "extract: %d keys exceeds the %d-key bound", len(req.Keys), maxExcludeKeys)
+		return
+	}
+	want := make(map[relation.Key]struct{}, len(req.Keys))
+	for _, k := range req.Keys {
+		want[relation.Key(k)] = struct{}{}
+	}
+	var out relation.Relation
+	for _, t := range e.Rel.Tuples {
+		if _, hot := want[t.Key]; hot {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := out.WriteTo(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "extract: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExtractResponse{
+		Name:   name,
+		Tuples: out.Len(),
+		Data:   base64.StdEncoding.EncodeToString(buf.Bytes()),
+	})
 }
 
 // resolveAlgorithm turns a request's algorithm/backend fields into a
@@ -299,14 +406,54 @@ func buildConsumer(req JoinRequest) (*consumerSink, error) {
 				}
 			},
 		}, nil
+	case "groups":
+		one := func(outbuf.Result) uint64 { return 1 }
+		root := volcano.NewGroupSum(one)
+		factory, collect := volcano.Sink(root, func() volcano.Consumer { return volcano.NewGroupSum(one) })
+		return &consumerSink{
+			factory: factory,
+			collect: collect,
+			finish: func(resp *JoinResponse) {
+				keys := make([]relation.Key, 0, len(root.Groups))
+				for k := range root.Groups {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				for _, k := range keys {
+					resp.Groups = append(resp.Groups, KeyWeight{Key: uint32(k), Weight: root.Groups[k]})
+				}
+			},
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown consumer %q (want summary, count, or topk)", req.Consumer)
+		return nil, fmt.Errorf("unknown consumer %q (want summary, count, topk, or groups)", req.Consumer)
 	}
 }
 
+// excludeTuples returns rel without the tuples whose key is in drop,
+// preserving order. The copy is deliberate: catalog relations are shared
+// with concurrent joins and must stay immutable.
+func excludeTuples(rel skewjoin.Relation, drop map[relation.Key]struct{}) skewjoin.Relation {
+	kept := make([]relation.Tuple, 0, len(rel.Tuples))
+	for _, t := range rel.Tuples {
+		if _, cut := drop[t.Key]; !cut {
+			kept = append(kept, t)
+		}
+	}
+	return skewjoin.Relation{Tuples: kept}
+}
+
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		refuseDraining(w)
+		return
+	}
 	var req JoinRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Routing != "" {
+		writeError(w, http.StatusBadRequest,
+			"routing %q is a cluster-router field; this is a single-node server", req.Routing)
 		return
 	}
 	rEntry, ok := s.catalog.Get(req.R)
@@ -337,6 +484,19 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if sink != nil && alg == skewjoin.GSMJ {
 		writeError(w, http.StatusBadRequest, "consumer %q is not supported for gsmj", req.Consumer)
 		return
+	}
+	rRel, sRel := rEntry.Rel, sEntry.Rel
+	if len(req.ExcludeKeys) > 0 {
+		if len(req.ExcludeKeys) > maxExcludeKeys {
+			writeError(w, http.StatusBadRequest, "%d exclude_keys exceeds the %d-key bound", len(req.ExcludeKeys), maxExcludeKeys)
+			return
+		}
+		drop := make(map[relation.Key]struct{}, len(req.ExcludeKeys))
+		for _, k := range req.ExcludeKeys {
+			drop[relation.Key(k)] = struct{}{}
+		}
+		rRel = excludeTuples(rRel, drop)
+		sRel = excludeTuples(sRel, drop)
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -374,13 +534,13 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		opts.HostParallelism = hp
 	}
 	if alg == skewjoin.Split {
-		opts.Calibration = s.calibration(rEntry.Rel, sEntry.Rel, weight)
+		opts.Calibration = s.calibration(rRel, sRel, weight)
 	}
 	if sink != nil {
 		opts.Consumer = sink.factory
 	}
 	joinStart := time.Now()
-	res, err := skewjoin.Join(alg, rEntry.Rel, sEntry.Rel, opts)
+	res, err := skewjoin.Join(alg, rRel, sRel, opts)
 	joinDur := time.Since(joinStart)
 	if err != nil {
 		s.rec.observeError(string(alg))

@@ -207,19 +207,38 @@ func (t *TopKeys) Merge(other Consumer) {
 // weights, heaviest first. Weights are Misra-Gries lower bounds, exact for
 // keys dominating the output.
 func (t *TopKeys) Heaviest() []KeyWeight {
-	out := make([]KeyWeight, 0, len(t.counters))
-	for key, c := range t.counters {
-		out = append(out, KeyWeight{Key: key, Weight: c})
+	return SelectTop(t.counters, t.k)
+}
+
+// SelectTop returns up to k (key, weight) pairs with the largest weights
+// in counts, heaviest first, ties broken towards the smaller key. It is
+// the deterministic top-k selection shared by TopKeys.Heaviest and the
+// cluster router's k-way heavy-hitter merge: applied to exact per-key
+// counts (e.g. merged GroupSum maps) the result is the exact top-k of the
+// join output, independent of how the output was partitioned.
+func SelectTop(counts map[relation.Key]uint64, k int) []KeyWeight {
+	if k < 1 {
+		k = 1
 	}
-	// Insertion sort by descending weight with deterministic tie-break;
-	// the set is small (<= 8k entries).
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && less(out[j-1], out[j]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	// Bounded insertion into a k-sized list: counts may hold every distinct
+	// output key (exact group counts), so selection must stay O(n·k), not
+	// sort the whole map.
+	out := make([]KeyWeight, 0, k)
+	for key, c := range counts {
+		e := KeyWeight{Key: key, Weight: c}
+		if len(out) == k && !less(out[k-1], e) {
+			continue
 		}
-	}
-	if len(out) > t.k {
-		out = out[:t.k]
+		i := len(out)
+		if i < k {
+			out = append(out, e)
+		} else {
+			i = k - 1
+			out[i] = e
+		}
+		for ; i > 0 && less(out[i-1], out[i]); i-- {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
 	}
 	return out
 }

@@ -259,3 +259,25 @@ func TestSinkReusesPerWorkerConsumers(t *testing.T) {
 		t.Errorf("sum=%d rows=%d, want 7, 3", root.Sum, root.Rows)
 	}
 }
+
+func TestSelectTopExactAndDeterministic(t *testing.T) {
+	counts := map[relation.Key]uint64{
+		10: 5, 20: 9, 30: 9, 40: 1, 50: 7, 60: 9,
+	}
+	got := SelectTop(counts, 4)
+	want := []KeyWeight{{20, 9}, {30, 9}, {60, 9}, {50, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("SelectTop = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SelectTop[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if few := SelectTop(counts, 100); len(few) != len(counts) {
+		t.Errorf("SelectTop(k>len) returned %d entries, want %d", len(few), len(counts))
+	}
+	if none := SelectTop(nil, 3); len(none) != 0 {
+		t.Errorf("SelectTop(nil) = %+v", none)
+	}
+}
