@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke bench-shard bench-shard-smoke experiments examples serve-smoke cluster-smoke clean
+.PHONY: all build vet test race lint lint-fixtures test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke bench-shard bench-shard-smoke experiments examples serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -18,10 +18,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project-specific static analysis: atomic consistency, context
-# propagation, hot-path allocations, lock discipline (see DESIGN.md).
+# Project-specific static analysis: the per-statement analyzers (atomic
+# consistency, context propagation, hot-path allocations, lock
+# discipline) plus the CFG/dataflow analyzers (lock-order,
+# goroutine-leak, err-drop, retry-discipline); see DESIGN.md §4c.
+# -unused-ignores makes stale suppressions fail the gate too.
 lint:
-	$(GO) run ./cmd/skewlint ./...
+	$(GO) run ./cmd/skewlint -unused-ignores ./...
+
+# Each analyzer against its positive fixture, asserting exact findings.
+lint-fixtures:
+	$(GO) test ./internal/lint -run TestFixtures -v
 
 # Run the whole suite with the sanitizer assertions compiled in
 # (chain-cycle detection, scatter bounds, ring geometry).

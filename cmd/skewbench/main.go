@@ -31,6 +31,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -192,16 +193,12 @@ func writeJSON(path string, v any) error {
 		return err
 	}
 	tmp := f.Name()
+	cleanup := func(err error) error {
+		return errors.Join(err, f.Close(), os.Remove(tmp))
+	}
 	// CreateTemp defaults to 0600; match os.Create's umask-filtered 0666.
 	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return cleanup(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -212,12 +209,10 @@ func writeJSON(path string, v any) error {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		return errors.Join(err, os.Remove(tmp))
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
+		return errors.Join(err, os.Remove(tmp))
 	}
 	return nil
 }

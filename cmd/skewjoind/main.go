@@ -87,7 +87,9 @@ func main() {
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
-			httpSrv.Close()
+			if cerr := httpSrv.Close(); cerr != nil {
+				log.Printf("close: %v", cerr)
+			}
 		}
 	}()
 

@@ -1,11 +1,13 @@
 // Command skewlint runs the project's custom static-analysis pass over
 // the module: invariants the Go compiler and vet cannot see but the join
-// engine depends on (atomic-consistency, ctx-propagation, hot-path-alloc,
-// lock-discipline — see internal/lint).
+// engine depends on. Eight analyzers ship today — the per-statement four
+// (atomic-consistency, ctx-propagation, hot-path-alloc, lock-discipline)
+// and the CFG/dataflow four (lock-order, goroutine-leak, err-drop,
+// retry-discipline) — see internal/lint.
 //
 // Usage:
 //
-//	skewlint [-json] [packages...]
+//	skewlint [-json] [-unused-ignores] [packages...]
 //
 // Packages default to ./... resolved against the enclosing module.
 // Findings print as file:line:col: [analyzer] message; with -json a
@@ -13,6 +15,8 @@
 // clean, 1 on findings, 2 on load or type-check errors. Suppress a
 // finding in place with `//skewlint:ignore <rule>` on or directly above
 // the offending line (a rationale may follow after " -- ").
+// -unused-ignores additionally reports every ignore directive that no
+// longer suppresses anything, so stale suppressions cannot linger.
 package main
 
 import (
@@ -26,8 +30,9 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	unusedIgnores := flag.Bool("unused-ignores", false, "report //skewlint:ignore directives that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: skewlint [-json] [packages...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: skewlint [-json] [-unused-ignores] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +52,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "skewlint:", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(loader, pkgs, lint.DefaultConfig())
+	cfg := lint.DefaultConfig()
+	cfg.ReportUnusedIgnores = *unusedIgnores
+	findings := lint.Run(loader, pkgs, cfg)
 
 	if *jsonOut {
 		out := struct {

@@ -86,7 +86,9 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
-			httpSrv.Close()
+			if cerr := httpSrv.Close(); cerr != nil {
+				log.Printf("close: %v", cerr)
+			}
 		}
 	}()
 

@@ -175,7 +175,9 @@ func (q *Queue[T]) Len() int {
 // Drain runs fn on every task using `threads` workers until the queue is
 // fully drained, including tasks pushed by fn itself while draining.
 func (q *Queue[T]) Drain(threads int, fn func(worker int, t T)) {
-	drainQueue[T](q, nil, threads, fn)
+	if drainQueue[T](q, nil, threads, fn) != nil {
+		panic("exec: drain with no done channel cannot be cancelled")
+	}
 }
 
 // DrainCtx is Drain with cancellation: workers stop claiming tasks as soon
@@ -307,7 +309,9 @@ func (q *MutexQueue[T]) Len() int {
 // Drain runs fn on every task using `threads` workers until the queue is
 // fully drained, including tasks pushed by fn itself while draining.
 func (q *MutexQueue[T]) Drain(threads int, fn func(worker int, t T)) {
-	drainQueue[T](q, nil, threads, fn)
+	if drainQueue[T](q, nil, threads, fn) != nil {
+		panic("exec: drain with no done channel cannot be cancelled")
+	}
 }
 
 // DrainCtx is Drain with between-task cancellation; see Queue.DrainCtx.

@@ -81,7 +81,7 @@ func analyzeAtomic(l *Loader, pkgs []*Package, cfg Config) []Finding {
 				if usePos, isAtomic := atomicUse[v]; isAtomic && !sanctioned[sel] {
 					findings = append(findings, l.finding(sel.Pos(), RuleAtomic,
 						"field %s is accessed with sync/atomic at %s; this plain access races with it",
-						fieldLabel(v), l.fset.Position(usePos)))
+						fieldLabel(v), l.relPosition(usePos)))
 					return
 				}
 				if name, ok := atomicWrapperType(v.Type()); ok && !wrapperUseOK(pkg.Info, sel, stack) {

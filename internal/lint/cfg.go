@@ -1,0 +1,530 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the control-flow half of skewlint's flow-sensitive engine:
+// an intraprocedural CFG built straight from go/ast, consumed by the
+// dataflow solver in dataflow.go. Compound statements are decomposed —
+// a block's nodes are simple statements and condition expressions only —
+// so analyzer transfer functions can scan each node shallowly without
+// double-seeing nested bodies.
+//
+// Conventions the analyzers rely on:
+//
+//   - Edges out of a condition node carry the condition expression and the
+//     branch polarity (cond/when), so a dataflow problem can refine facts
+//     on nil-comparison branches (retry-discipline does).
+//   - Deferred statements are collected into funcCFG.defers and treated as
+//     running at the exit block; a deferred wg.Wait or close(ch) therefore
+//     joins every path.
+//   - Calls that never return (panic, os.Exit, log.Fatal*, runtime.Goexit,
+//     testing's FailNow family) end their block with no successors, so
+//     paths through them are not paths to exit.
+//   - Loop head blocks are recorded in funcCFG.loopHead with their source
+//     loop statement, letting a path check treat "the join lives inside
+//     this loop" conservatively (goroutine-leak does: a zero-trip drain
+//     loop is statically indistinguishable from a matching one).
+type funcCFG struct {
+	blocks   []*cfgBlock
+	entry    *cfgBlock
+	exit     *cfgBlock
+	defers   []*ast.DeferStmt
+	loopHead map[*cfgBlock]ast.Stmt
+}
+
+// cfgBlock is one basic block: straight-line nodes then condition edges.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []cfgEdge
+}
+
+// cfgEdge is a successor edge. cond == nil is an unconditional edge;
+// otherwise the edge is taken when cond evaluates to `when`.
+type cfgEdge struct {
+	to   *cfgBlock
+	cond ast.Expr
+	when bool
+}
+
+// cfgBuilder threads the construction state: the block under append, the
+// break/continue targets of the enclosing loops and switches, and label
+// resolution.
+type cfgBuilder struct {
+	pkg *Package
+	cfg *funcCFG
+	cur *cfgBlock
+
+	// breakTargets / continueTargets are stacks; the innermost target is
+	// last. Each entry carries the optional statement label.
+	breakTargets    []branchTarget
+	continueTargets []branchTarget
+
+	// pendingLabel is the label of a LabeledStmt applied to the next
+	// loop/switch statement (for labeled break/continue).
+	pendingLabel string
+
+	gotoBlocks map[string]*cfgBlock   // label -> block starting at the label
+	gotoFixups map[string][]*cfgBlock // unresolved goto sources
+}
+
+type branchTarget struct {
+	label string
+	block *cfgBlock
+}
+
+// buildCFG constructs the CFG of one function body. pkg supplies type
+// information for terminating-call detection.
+func buildCFG(pkg *Package, body *ast.BlockStmt) *funcCFG {
+	c := &funcCFG{loopHead: make(map[*cfgBlock]ast.Stmt)}
+	b := &cfgBuilder{
+		pkg:        pkg,
+		cfg:        c,
+		gotoBlocks: make(map[string]*cfgBlock),
+		gotoFixups: make(map[string][]*cfgBlock),
+	}
+	c.entry = b.newBlock()
+	c.exit = b.newBlock()
+	b.cur = c.entry
+	b.stmtList(body.List)
+	b.jump(c.exit)
+	// Unresolved gotos (labels we never placed, which valid Go should not
+	// produce) fall through to exit so the CFG stays connected.
+	for _, srcs := range b.gotoFixups {
+		for _, src := range srcs {
+			src.succs = append(src.succs, cfgEdge{to: c.exit})
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.cfg.blocks)}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an unconditional edge to target and
+// leaves the builder with no current block (dead code until a new one
+// starts).
+func (b *cfgBuilder) jump(target *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, cfgEdge{to: target})
+	}
+	b.cur = nil
+}
+
+// branch ends the current block with a two-way conditional edge.
+func (b *cfgBuilder) branch(cond ast.Expr, yes, no *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs,
+			cfgEdge{to: yes, cond: cond, when: true},
+			cfgEdge{to: no, cond: cond, when: false})
+	}
+	b.cur = nil
+}
+
+// startBlock makes blk current, creating a fresh block if the caller
+// passed nil (used after dead ends so trailing statements still land in
+// some block, just an unreachable one).
+func (b *cfgBuilder) startBlock(blk *cfgBlock) {
+	if blk == nil {
+		blk = b.newBlock()
+	}
+	b.cur = blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.startBlock(nil)
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so gotos have a landing site, then build the
+		// labeled statement with the label pending for break/continue.
+		blk := b.newBlock()
+		b.jump(blk)
+		b.startBlock(blk)
+		b.gotoBlocks[s.Label.Name] = blk
+		for _, src := range b.gotoFixups[s.Label.Name] {
+			src.succs = append(src.succs, cfgEdge{to: blk})
+		}
+		delete(b.gotoFixups, s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		thenBlk := b.newBlock()
+		afterBlk := b.newBlock()
+		elseBlk := afterBlk
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+		}
+		b.branch(s.Cond, thenBlk, elseBlk)
+		b.startBlock(thenBlk)
+		b.stmtList(s.Body.List)
+		b.jump(afterBlk)
+		if s.Else != nil {
+			b.startBlock(elseBlk)
+			b.stmt(s.Else)
+			b.jump(afterBlk)
+		}
+		b.startBlock(afterBlk)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.cfg.loopHead[head] = s
+		b.jump(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(s.Cond, body, after)
+		} else {
+			b.jump(body)
+		}
+		b.pushLoop(label, after, post)
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.jump(post)
+		if s.Post != nil {
+			b.startBlock(post)
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.cfg.loopHead[head] = s
+		b.jump(head)
+		b.startBlock(head)
+		b.add(s.X)
+		head.succs = append(head.succs, cfgEdge{to: body}, cfgEdge{to: after})
+		b.cur = nil
+		b.pushLoop(label, after, head)
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.jump(head)
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, func(cc *ast.CaseClause) {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body.List, func(cc *ast.CaseClause) {})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		src := b.cur
+		if src == nil {
+			src = b.newBlock()
+			b.cur = src
+		}
+		b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			src.succs = append(src.succs, cfgEdge{to: blk})
+			b.startBlock(blk)
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(after)
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		// A clause-less select{} blocks forever: src keeps no successors
+		// and after stays unreachable, which is exactly right.
+		b.cur = nil
+		b.startBlock(after)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		b.branchStmt(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.defers = append(b.cfg.defers, s)
+
+	case *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt,
+		*ast.ExprStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+		if terminates(b.pkg, s) {
+			b.cur = nil // no successors: this path never returns
+		}
+
+	default:
+		// Anything unhandled is treated as a straight-line node.
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch / type-switch clause blocks, including
+// fallthrough to the next clause body.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, emitGuards func(cc *ast.CaseClause)) {
+	after := b.newBlock()
+	src := b.cur
+	if src == nil {
+		src = b.newBlock()
+		b.cur = src
+	}
+	b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: after})
+	bodies := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		if clauses[i].(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.cur = src
+		emitGuards(cc)
+		src = b.cur // guards may not move blocks, but keep in sync
+		src.succs = append(src.succs, cfgEdge{to: bodies[i]})
+		b.startBlock(bodies[i])
+		last := len(cc.Body) - 1
+		fallsThrough := false
+		for j, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && j == last {
+				fallsThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault {
+		src.succs = append(src.succs, cfgEdge{to: after})
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = nil
+	b.startBlock(after)
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: brk})
+	b.continueTargets = append(b.continueTargets, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	find := func(stack []branchTarget) *cfgBlock {
+		if len(stack) == 0 {
+			return nil
+		}
+		if s.Label == nil {
+			return stack[len(stack)-1].block
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].label == s.Label.Name {
+				return stack[i].block
+			}
+		}
+		return nil
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := find(b.breakTargets); t != nil {
+			b.jump(t)
+			return
+		}
+	case "continue":
+		if t := find(b.continueTargets); t != nil {
+			b.jump(t)
+			return
+		}
+	case "goto":
+		if s.Label != nil {
+			if t, ok := b.gotoBlocks[s.Label.Name]; ok {
+				b.jump(t)
+				return
+			}
+			// Forward goto: record the source block for fixup when the
+			// label is placed.
+			if b.cur != nil {
+				b.gotoFixups[s.Label.Name] = append(b.gotoFixups[s.Label.Name], b.cur)
+			}
+			b.cur = nil
+			return
+		}
+	}
+	// fallthrough is handled by caseClauses; anything else dead-ends.
+	b.cur = nil
+}
+
+// terminates reports whether the statement is a call that never returns:
+// panic, os.Exit, runtime.Goexit, or the log.Fatal* family. Paths through
+// such calls never reach the function's exit.
+func terminates(pkg *Package, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isBuiltin(pkg.Info, call, "panic") {
+		return true
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// shallowWalk traverses n without descending into function literals, so a
+// transfer function scanning one CFG node never sees the body of a
+// closure that block merely defines or spawns.
+func shallowWalk(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// eachFuncBody visits every function body in the package: declarations
+// and, when lits is true, each function literal as its own scope. The
+// enclosing declaration is passed for messages and directives; ftype is
+// the signature of the scope itself (the literal's own type for lits).
+func eachFuncBody(pkg *Package, lits bool, visit func(decl *ast.FuncDecl, ftype *ast.FuncType, body *ast.BlockStmt)) {
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, fd.Type, fd.Body)
+			if !lits {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					visit(fd, fl.Type, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// rootObject resolves the base object of a (possibly nested) selector /
+// index / star / paren chain: for `rt.shards[i].adm` it is the deepest
+// struct field that is a field var (adm); for `gates[0]` the local or
+// package var gates; for `mu` the var mu. It is the abstraction lock and
+// channel classes key on: one class per declared field or variable.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if v := fieldVarOf(info, x); v != nil {
+				return v
+			}
+			// Qualified identifier (pkg.Var) or method expr: use the Sel.
+			if obj := info.Uses[x.Sel]; obj != nil {
+				return obj
+			}
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the dataflow half of the flow-sensitive engine: a worklist
+// solver over the CFGs built in cfg.go. Facts are finite sets of
+// comparable keys; a problem chooses the lattice direction (may = union
+// at merges, must = intersection), supplies the per-node transfer
+// function, and may refine facts along condition-labeled edges (how
+// retry-discipline learns that an error variable is nil on the
+// `err == nil` branch).
+
+// factSet is a finite set of analysis facts. nil is the empty set; the
+// solver never mutates a set it handed out, so transfers must copy before
+// writing (factSet.clone).
+type factSet map[any]struct{}
+
+func (f factSet) has(k any) bool {
+	_, ok := f[k]
+	return ok
+}
+
+func (f factSet) clone() factSet {
+	out := make(factSet, len(f))
+	for k := range f {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func (f factSet) equal(g factSet) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k := range f {
+		if !g.has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f factSet) union(g factSet) factSet {
+	if len(g) == 0 {
+		return f
+	}
+	if len(f) == 0 {
+		return g
+	}
+	out := f.clone()
+	for k := range g {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func (f factSet) intersect(g factSet) factSet {
+	out := make(factSet)
+	for k := range f {
+		if g.has(k) {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// flowProblem is one forward dataflow analysis.
+type flowProblem interface {
+	// transfer folds one CFG node into the incoming fact set and returns
+	// the outgoing set (may alias the input when nothing changed).
+	transfer(n ast.Node, in factSet) factSet
+	// refine adjusts facts along a condition-labeled edge; called with
+	// the edge's condition and polarity. Implementations that do not use
+	// branch conditions simply return f.
+	refine(cond ast.Expr, when bool, f factSet) factSet
+	// must selects the merge: true = intersection (must-facts), false =
+	// union (may-facts).
+	must() bool
+}
+
+// blockFacts is the solver's fixpoint: the fact set at entry to each
+// block. Blocks never reached keep no entry.
+type blockFacts map[*cfgBlock]factSet
+
+// runForward solves the problem to fixpoint over the CFG, starting from
+// `init` at entry, and returns the per-block entry facts.
+func runForward(c *funcCFG, p flowProblem, init factSet) blockFacts {
+	in := make(blockFacts, len(c.blocks))
+	in[c.entry] = init
+	work := []*cfgBlock{c.entry}
+	queued := map[*cfgBlock]bool{c.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		facts := in[blk]
+		for _, n := range blk.nodes {
+			facts = p.transfer(n, facts)
+		}
+		for _, e := range blk.succs {
+			out := facts
+			if e.cond != nil {
+				out = p.refine(e.cond, e.when, out)
+			}
+			prev, seen := in[e.to]
+			var merged factSet
+			if !seen {
+				merged = out
+			} else if p.must() {
+				merged = prev.intersect(out)
+			} else {
+				merged = prev.union(out)
+			}
+			if !seen || !merged.equal(prev) {
+				in[e.to] = merged
+				if !queued[e.to] {
+					queued[e.to] = true
+					work = append(work, e.to)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// visitFixpoint replays the transfer over every reached block at the
+// solved fixpoint, invoking visit with each node and the facts holding
+// immediately before it. This is where analyzers emit findings.
+func visitFixpoint(c *funcCFG, p flowProblem, in blockFacts, visit func(n ast.Node, before factSet)) {
+	for _, blk := range c.blocks {
+		facts, reached := in[blk]
+		if !reached {
+			continue
+		}
+		for _, n := range blk.nodes {
+			visit(n, facts)
+			facts = p.transfer(n, facts)
+		}
+	}
+}
+
+// condFact is an atomic truth a condition-labeled edge implies: obj
+// compared against nil, and whether the edge proves it nil.
+type condFact struct {
+	obj   any // types.Object of the compared identifier chain root
+	isNil bool
+}
+
+// nilCondFacts decomposes a branch condition into the nil-comparison
+// facts its polarity implies. Taking the true edge of `a && b` implies
+// everything a and b imply; the false edge of `a || b` implies the
+// negation of both disjuncts; `!x` flips polarity. Only comparisons of a
+// trackable identifier chain against nil produce facts.
+func nilCondFacts(pkg *Package, cond ast.Expr, when bool, ident func(ast.Expr) any) []condFact {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return nilCondFacts(pkg, c.X, !when, ident)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case c.Op == token.LAND && when:
+			return append(nilCondFacts(pkg, c.X, true, ident), nilCondFacts(pkg, c.Y, true, ident)...)
+		case c.Op == token.LOR && !when:
+			return append(nilCondFacts(pkg, c.X, false, ident), nilCondFacts(pkg, c.Y, false, ident)...)
+		case c.Op == token.EQL || c.Op == token.NEQ:
+			x, y := ast.Unparen(c.X), ast.Unparen(c.Y)
+			var target ast.Expr
+			if isNilIdent(pkg, x) {
+				target = y
+			} else if isNilIdent(pkg, y) {
+				target = x
+			} else {
+				return nil
+			}
+			obj := ident(target)
+			if obj == nil {
+				return nil
+			}
+			// `x == nil` on the true edge (or != nil on the false edge)
+			// proves nil.
+			isNil := (c.Op == token.EQL) == when
+			return []condFact{{obj: obj, isNil: isNil}}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(pkg *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}

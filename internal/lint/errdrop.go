@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzeErrDrop reports error values that are discarded instead of
+// handled, in three escalating tiers:
+//
+//  1. Bare calls: an expression statement whose callee returns an error
+//     throws the value away entirely. Deferred calls are exempt (the
+//     `defer f.Close()` cleanup idiom has nowhere to put the error), and
+//     so are the configured allowlist functions (Config.ErrDropAllowlist,
+//     e.g. fmt.Fprintf into an in-memory buffer).
+//  2. Blank discards: `_ = f()` or `v, _ := g()` where the blanked
+//     position is error-typed.
+//  3. Flow-aware pending errors: an error-typed local assigned from a
+//     call and then never read on some path — either overwritten by the
+//     next call's error before anyone looked (the fan-out/merge bug where
+//     a shard's failure is silently replaced) or still unread at function
+//     exit. Reads of any kind (conditions, returns, arguments) discharge
+//     the obligation; locals that are captured by a closure or have their
+//     address taken are not tracked, since writes through the alias are
+//     out of flow-analysis reach.
+func analyzeErrDrop(l *Loader, pkgs []*Package, cfg Config) []Finding {
+	allow := make(map[string]bool, len(cfg.ErrDropAllowlist))
+	for _, a := range cfg.ErrDropAllowlist {
+		allow[a] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		eachFuncBody(pkg, true, func(decl *ast.FuncDecl, ftype *ast.FuncType, body *ast.BlockStmt) {
+			findings = append(findings, errDropSyntactic(l, pkg, body, allow)...)
+			findings = append(findings, errDropPending(l, pkg, ftype, body)...)
+		})
+	}
+	return findings
+}
+
+// errDropSyntactic covers tiers 1 and 2: bare calls and blank discards.
+func errDropSyntactic(l *Loader, pkg *Package, body *ast.BlockStmt, allow map[string]bool) []Finding {
+	var findings []Finding
+	shallowWalk(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok || !callReturnsError(pkg, call) {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn != nil && allow[qualifiedName(fn)] {
+				return true
+			}
+			name := "call"
+			if fn != nil {
+				name = fn.Name()
+			}
+			findings = append(findings, l.finding(n.Pos(), RuleErrDrop,
+				"%s returns an error that is silently discarded; handle it, or allowlist the callee", name))
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				if t := assignedType(pkg, n, i); t != nil && isErrorType(t) {
+					findings = append(findings, l.finding(id.Pos(), RuleErrDrop,
+						"error result discarded via _; handle it or name and check it"))
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// assignedType resolves the type flowing into the i-th LHS of an
+// assignment: elementwise for n:n assignments, the i-th tuple component
+// for the `a, b := f()` form.
+func assignedType(pkg *Package, n *ast.AssignStmt, i int) types.Type {
+	if len(n.Rhs) == len(n.Lhs) {
+		if tv, ok := pkg.Info.Types[n.Rhs[i]]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	if len(n.Rhs) != 1 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[n.Rhs[0]]
+	if !ok {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+		return tuple.At(i).Type()
+	}
+	return nil
+}
+
+// isErrorType reports whether t is error itself (the common declared
+// result type). Concrete error implementations discarded into _ are
+// deliberate type-level choices and stay out of scope.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callReturnsError reports whether any result of the call is error-typed.
+func callReturnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errDropPending is tier 3: the may-pending dataflow over error locals.
+func errDropPending(l *Loader, pkg *Package, ftype *ast.FuncType, body *ast.BlockStmt) []Finding {
+	tracked := trackedErrVars(pkg, body)
+	if len(tracked) == 0 {
+		return nil
+	}
+	c := buildCFG(pkg, body)
+	prob := &pendingProblem{pkg: pkg, tracked: tracked, named: namedResults(pkg, ftype)}
+	in := runForward(c, prob, factSet{})
+
+	var findings []Finding
+	lastGen := make(map[*types.Var]ast.Node)
+	visitFixpoint(c, prob, in, func(n ast.Node, before factSet) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := identVar(pkg, id)
+			if v == nil || !tracked[v] {
+				continue
+			}
+			gens := assignGensError(pkg, as, i)
+			if gens && before.has(v) {
+				findings = append(findings, l.finding(as.Pos(), RuleErrDrop,
+					"error in %s overwritten before it was checked; the earlier failure is lost", v.Name()))
+			}
+			if gens {
+				lastGen[v] = as
+			}
+		}
+	})
+	// Pending at exit: assigned on some path, never read before returning.
+	for f := range in[c.exit] {
+		v, ok := f.(*types.Var)
+		if !ok {
+			continue
+		}
+		at := lastGen[v]
+		if at == nil {
+			continue
+		}
+		findings = append(findings, l.finding(at.Pos(), RuleErrDrop,
+			"error assigned to %s is never checked on some path to exit", v.Name()))
+	}
+	return findings
+}
+
+// trackedErrVars collects the error-typed locals declared directly in
+// body (not inside a nested function literal) that are neither captured
+// by a closure nor address-taken.
+func trackedErrVars(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	tracked := make(map[*types.Var]bool)
+	shallowWalk(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok && !v.IsField() && v.Name() != "_" && isErrorType(v.Type()) {
+			tracked[v] = true
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return tracked
+	}
+	// Disqualify aliased vars: &v anywhere, or any use inside a FuncLit.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if v := identVar(pkg, ast.Unparen(n.X)); v != nil {
+					delete(tracked, v)
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						delete(tracked, v)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return tracked
+}
+
+// identVar resolves an expression to the local variable it names.
+func identVar(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// assignGensError reports whether the i-th LHS of as receives an
+// error-typed value produced by a call — the only kind of assignment that
+// creates a handling obligation (err = nil clears one).
+func assignGensError(pkg *Package, as *ast.AssignStmt, i int) bool {
+	t := assignedType(pkg, as, i)
+	if t == nil || !isErrorType(t) {
+		return false
+	}
+	var rhs ast.Expr
+	if len(as.Rhs) == len(as.Lhs) {
+		rhs = as.Rhs[i]
+	} else {
+		rhs = as.Rhs[0]
+	}
+	hasCall := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			hasCall = true
+		}
+		return true
+	})
+	return hasCall
+}
+
+// namedResults collects the named result variables of a signature; a bare
+// `return` reads exactly these.
+func namedResults(pkg *Package, ftype *ast.FuncType) map[*types.Var]bool {
+	named := make(map[*types.Var]bool)
+	if ftype == nil || ftype.Results == nil {
+		return named
+	}
+	for _, field := range ftype.Results.List {
+		for _, name := range field.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				named[v] = true
+			}
+		}
+	}
+	return named
+}
+
+// pendingProblem: facts are tracked error vars holding an unread call
+// result. MAY lattice — pending on any path is a path that loses an
+// error.
+type pendingProblem struct {
+	pkg     *Package
+	tracked map[*types.Var]bool
+	named   map[*types.Var]bool
+}
+
+func (p *pendingProblem) must() bool { return false }
+
+func (p *pendingProblem) refine(cond ast.Expr, when bool, f factSet) factSet { return f }
+
+func (p *pendingProblem) transfer(n ast.Node, in factSet) factSet {
+	out := in
+	mutate := func() factSet {
+		if sameSet(out, in) {
+			out = in.clone()
+		}
+		return out
+	}
+	as, isAssign := n.(*ast.AssignStmt)
+	// Writes this node performs; reads of these idents do not discharge.
+	writing := make(map[*ast.Ident]bool)
+	if isAssign {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				writing[id] = true
+			}
+		}
+	}
+	// A bare `return` reads exactly the named results.
+	if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 {
+		for v := range p.named {
+			if in.has(v) {
+				delete(mutate(), v)
+			}
+		}
+		return out
+	}
+	// Reads discharge pending obligations.
+	shallowWalk(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || writing[id] {
+			return true
+		}
+		if v, ok := p.pkg.Info.Uses[id].(*types.Var); ok && p.tracked[v] && in.has(v) {
+			delete(mutate(), v)
+		}
+		return true
+	})
+	// Assignments generate (call results) or clear (anything else).
+	if isAssign {
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := identVar(p.pkg, id)
+			if v == nil || !p.tracked[v] {
+				continue
+			}
+			if assignGensError(p.pkg, as, i) {
+				mutate()[v] = struct{}{}
+			} else {
+				delete(mutate(), v)
+			}
+		}
+	}
+	return out
+}

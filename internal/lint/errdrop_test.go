@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrDropBareCallFlagged(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string) {
+	os.Remove(name)
+}
+`,
+	})
+	got := wantCount(t, fs, RuleErrDrop, 1)
+	if !strings.Contains(got[0].Message, "Remove") {
+		t.Errorf("bare-call finding should name the callee: %s", got[0].Message)
+	}
+}
+
+func TestErrDropAllowlistAndDefer(t *testing.T) {
+	fs := runFixture(t, Config{ErrDropAllowlist: []string{"os.Remove"}}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string) {
+	os.Remove(name) // allowlisted
+	f, err := os.Open(name)
+	if err != nil {
+		return
+	}
+	defer f.Close() // deferred cleanup is exempt
+	_ = f
+}
+`,
+	})
+	wantCount(t, fs, RuleErrDrop, 0)
+}
+
+func TestErrDropBlankDiscardFlagged(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string) *os.File {
+	_ = os.Remove(name)
+	f, _ := os.Open(name)
+	return f
+}
+`,
+	})
+	got := wantCount(t, fs, RuleErrDrop, 2)
+	for _, f := range got {
+		if !strings.Contains(f.Message, "_") {
+			t.Errorf("blank-discard finding expected: %s", f.Message)
+		}
+	}
+}
+
+func TestErrDropOverwrittenBeforeChecked(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(a, b string) error {
+	err := os.Remove(a)
+	err = os.Remove(b)
+	return err
+}
+`,
+	})
+	got := wantCount(t, fs, RuleErrDrop, 1)
+	if !strings.Contains(got[0].Message, "overwritten") {
+		t.Errorf("want an overwritten-before-checked finding: %s", got[0].Message)
+	}
+	if got[0].Line != 7 {
+		t.Errorf("finding should point at the overwriting assignment (line 7), got %d", got[0].Line)
+	}
+}
+
+func TestErrDropUnreadAtExit(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string) {
+	err := os.Remove(name)
+	_ = 0
+	if false {
+		println(err)
+	}
+}
+`,
+	})
+	// The err is read only under `if false`: on the other path it reaches
+	// exit unread.
+	got := wantCount(t, fs, RuleErrDrop, 1)
+	if !strings.Contains(got[0].Message, "never checked on some path") {
+		t.Errorf("want an unread-at-exit finding: %s", got[0].Message)
+	}
+}
+
+func TestErrDropCheckedEverywhereClean(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(a, b string) error {
+	if err := os.Remove(a); err != nil {
+		return err
+	}
+	err := os.Remove(b)
+	return err
+}
+`,
+	})
+	wantCount(t, fs, RuleErrDrop, 0)
+}
+
+func TestErrDropNamedResultBareReturnClean(t *testing.T) {
+	// A bare return reads the named result err; nothing is dropped.
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string) (err error) {
+	err = os.Remove(name)
+	return
+}
+`,
+	})
+	wantCount(t, fs, RuleErrDrop, 0)
+}
+
+func TestErrDropVoidFuncBareReturnStillFlagged(t *testing.T) {
+	// In a void function, `return` reads nothing: the pending err is lost.
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string, bail bool) {
+	err := os.Remove(name)
+	if bail {
+		return
+	}
+	println(err)
+}
+`,
+	})
+	got := wantCount(t, fs, RuleErrDrop, 1)
+	if !strings.Contains(got[0].Message, "never checked on some path") {
+		t.Errorf("bare return in a void func must not discharge err: %s", got[0].Message)
+	}
+}
+
+func TestErrDropCapturedVarNotTracked(t *testing.T) {
+	// err is captured by a closure: writes through the alias are out of
+	// reach, so the flow tier must stay silent.
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "os"
+
+func F(name string) func() {
+	err := os.Remove(name)
+	return func() { println(err) }
+}
+`,
+	})
+	wantCount(t, fs, RuleErrDrop, 0)
+}

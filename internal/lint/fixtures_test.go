@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureConfigs supplies per-fixture analyzer configuration; fixtures not
+// listed run with the zero Config. The retry fixture needs its scope and
+// classifier vocabulary pointed at the fixture module.
+var fixtureConfigs = map[string]Config{
+	"retry-discipline": {
+		RetryScope:       []string{"fixture"},
+		RetryClassifiers: []string{"fixture.E.Retryable"},
+	},
+}
+
+// TestFixtures runs every analyzer against its on-disk positive fixture
+// under testdata/fixtures/<name> and asserts the exact expected findings
+// recorded in expect.txt — the same check CI's lint-fixtures job performs.
+// Regenerate expectations with UPDATE_LINT_FIXTURES=1 after reviewing the
+// new output.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "fixtures")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := os.Getenv("UPDATE_LINT_FIXTURES") != ""
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(root, name)
+			l, err := NewLoader(dir)
+			if err != nil {
+				t.Fatalf("NewLoader: %v", err)
+			}
+			pkgs, err := l.Load("./...")
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			var got []string
+			for _, f := range Run(l, pkgs, fixtureConfigs[name]) {
+				got = append(got, f.String())
+			}
+			if len(got) == 0 {
+				t.Fatalf("fixture %s is a positive fixture and must produce findings", name)
+			}
+			expectPath := filepath.Join(dir, "expect.txt")
+			if update {
+				if err := os.WriteFile(expectPath, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(expectPath)
+			if err != nil {
+				t.Fatalf("missing expectations (run with UPDATE_LINT_FIXTURES=1): %v", err)
+			}
+			want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+			if len(got) != len(want) {
+				t.Fatalf("finding count mismatch: want %d, got %d:\n%s", len(want), len(got), strings.Join(got, "\n"))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("finding %d:\nwant %s\ngot  %s", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,397 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzeGoroLeak enforces that spawned work is joined: every `go`
+// statement, and every call to a configured spawner (Config.LeakSpawners,
+// e.g. exec.Group.Go), must reach a matching join on all paths from the
+// spawn to the function's exit, or carry a //skewlint:fire-and-forget
+// annotation on or above the spawn line.
+//
+// The join obligation is inferred from the goroutine body's handles:
+//
+//   - wg.Done() obligates wg.Wait()
+//   - a send on / close of channel ch obligates a receive from ch
+//   - a receive from ch obligates a close of / send on ch
+//
+// Satisfying any one handle joins the goroutine. A handle is considered
+// joined when (in order): its class is declared outside the spawning
+// scope (the caller owns it — parameters and captured outer variables),
+// it is a struct field some function in the module joins (the
+// Group.Go/Group.Wait split, via the call-summary index), it escapes
+// through a return statement (the caller receives the handle), or — the
+// flow-sensitive core — a join node is on every CFG path from the spawn
+// to exit. Deferred joins run at every exit and satisfy all paths; paths
+// through terminating calls (os.Exit, log.Fatal) never reach exit and
+// need no join; a join inside a loop is credited at the loop head, since
+// a zero-trip drain loop is statically indistinguishable from a matching
+// one.
+func analyzeGoroLeak(l *Loader, pkgs []*Package, cfg Config, sums *summaries) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		annotated := directiveLines(l, pkg, "//skewlint:fire-and-forget")
+		eachFuncBody(pkg, true, func(decl *ast.FuncDecl, _ *ast.FuncType, body *ast.BlockStmt) {
+			c := buildCFG(pkg, body)
+			for _, blk := range c.blocks {
+				for ni, n := range blk.nodes {
+					spawnPos, obs, what := spawnAt(pkg, cfg, n)
+					if what == "" {
+						continue
+					}
+					p := l.fset.Position(spawnPos)
+					if annotated[lineKey{p.Filename, p.Line}] || annotated[lineKey{p.Filename, p.Line - 1}] {
+						continue
+					}
+					if len(obs) == 0 {
+						findings = append(findings, l.finding(spawnPos, RuleGoroLeak,
+							"%s has no join handle (WaitGroup, channel); give it one or annotate //skewlint:fire-and-forget -- rationale", what))
+						continue
+					}
+					joined := false
+					var wanted []string
+					for _, ob := range obs {
+						if obligationMet(pkg, body, sums, c, blk, ni, ob) {
+							joined = true
+							break
+						}
+						wanted = append(wanted, ob.describe())
+					}
+					if !joined {
+						findings = append(findings, l.finding(spawnPos, RuleGoroLeak,
+							"%s is not joined on every path to exit (wanted %s); join it or annotate //skewlint:fire-and-forget -- rationale",
+							what, strings.Join(wanted, " or ")))
+					}
+				}
+			}
+		})
+	}
+	return findings
+}
+
+type obligKind int
+
+const (
+	obWait  obligKind = iota // goroutine Done()s: spawner must Wait
+	obRecv                   // goroutine sends/closes: spawner must receive
+	obClose                  // goroutine receives: spawner must close/send
+)
+
+// oblig is one join handle the spawning scope can use.
+type oblig struct {
+	kind  obligKind
+	class types.Object
+	join  string // join method name for obWait ("Wait" unless configured)
+}
+
+func (o oblig) describe() string {
+	switch o.kind {
+	case obWait:
+		return classLabel(o.class) + "." + o.join
+	case obRecv:
+		return "receive from " + classLabel(o.class)
+	default:
+		return "close of or send on " + classLabel(o.class)
+	}
+}
+
+// spawnAt classifies a CFG node as a spawn site: a `go` statement or a
+// call to a configured spawner. Returns the spawn position, the join
+// obligations, and a description ("" when not a spawn).
+func spawnAt(pkg *Package, cfg Config, n ast.Node) (token.Pos, []oblig, string) {
+	if gs, ok := n.(*ast.GoStmt); ok {
+		return gs.Pos(), goObligations(pkg, gs), "goroutine"
+	}
+	var pos token.Pos
+	var obs []oblig
+	what := ""
+	shallowWalk(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || what != "" {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		join, ok := cfg.LeakSpawners[qualifiedName(fn)]
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		class := rootObject(pkg.Info, sel.X)
+		if class == nil {
+			return true
+		}
+		pos = call.Pos()
+		obs = []oblig{{kind: obWait, class: class, join: join}}
+		what = "work spawned by " + fn.Name()
+		return true
+	})
+	return pos, obs, what
+}
+
+// goObligations extracts the join handles from a `go func(){...}()`
+// body. Handles declared inside the goroutine itself are dropped — the
+// spawner cannot reach them. A `go named(...)` statement yields no
+// handles: the body is out of scope, so the spawn needs an annotation or
+// a configured spawner entry.
+func goObligations(pkg *Package, gs *ast.GoStmt) []oblig {
+	fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	seen := make(map[oblig]bool)
+	var obs []oblig
+	add := func(o oblig) {
+		if o.class == nil || seen[o] {
+			return
+		}
+		// A handle created inside the goroutine body is invisible to the
+		// spawner.
+		if fl.Body.Pos() <= o.class.Pos() && o.class.Pos() <= fl.Body.End() {
+			return
+		}
+		seen[o] = true
+		obs = append(obs, o)
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				add(oblig{kind: obWait, class: rootObject(pkg.Info, sel.X), join: "Wait"})
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" &&
+				isBuiltin(pkg.Info, n, "close") && len(n.Args) == 1 {
+				add(oblig{kind: obRecv, class: rootObject(pkg.Info, n.Args[0])})
+			}
+		case *ast.SendStmt:
+			add(oblig{kind: obRecv, class: rootObject(pkg.Info, n.Chan)})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(oblig{kind: obClose, class: rootObject(pkg.Info, n.X)})
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(pkg.Info, n.X) {
+				add(oblig{kind: obClose, class: rootObject(pkg.Info, n.X)})
+			}
+		}
+		return true
+	})
+	return obs
+}
+
+// obligationMet decides whether one handle joins the spawn.
+func obligationMet(pkg *Package, body *ast.BlockStmt, sums *summaries, c *funcCFG, spawnBlk *cfgBlock, spawnIdx int, ob oblig) bool {
+	// Declared outside this scope: a parameter or captured variable — the
+	// owner joins it. Fields are handled by the module-wide index instead.
+	field, isField := fieldRootObj(ob.class)
+	if !isField && (ob.class.Pos() < body.Pos() || ob.class.Pos() > body.End()) {
+		return true
+	}
+	if isField {
+		switch ob.kind {
+		case obWait:
+			if sums.waitedFields[field] {
+				return true
+			}
+		case obRecv:
+			if sums.receivedFields[field] {
+				return true
+			}
+		case obClose:
+			if sums.closedFields[field] {
+				return true
+			}
+		}
+		return false
+	}
+	// Escapes through a return: the caller receives the handle.
+	escapes := false
+	shallowWalk(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || escapes {
+			return true
+		}
+		ast.Inspect(ret, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == ob.class {
+				escapes = true
+			}
+			return true
+		})
+		return true
+	})
+	if escapes {
+		return true
+	}
+	return joinsAllPaths(pkg, c, spawnBlk, spawnIdx, ob)
+}
+
+func fieldRootObj(o types.Object) (types.Object, bool) {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		return v, true
+	}
+	return nil, false
+}
+
+// joinMatcher matches a single AST node performing ob's join.
+func joinMatcher(pkg *Package, ob oblig) func(m ast.Node) bool {
+	return func(m ast.Node) bool {
+		switch n := m.(type) {
+		case *ast.CallExpr:
+			switch ob.kind {
+			case obWait:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == ob.join && rootObject(pkg.Info, sel.X) == ob.class {
+					return true
+				}
+			case obClose:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" &&
+					isBuiltin(pkg.Info, n, "close") && len(n.Args) == 1 &&
+					rootObject(pkg.Info, n.Args[0]) == ob.class {
+					return true
+				}
+			}
+		case *ast.UnaryExpr:
+			if ob.kind == obRecv && n.Op == token.ARROW && rootObject(pkg.Info, n.X) == ob.class {
+				return true
+			}
+		case *ast.SendStmt:
+			if ob.kind == obClose && rootObject(pkg.Info, n.Chan) == ob.class {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// joinsAllPaths is the flow check: does every CFG path from the spawn to
+// exit pass a join node for ob?
+func joinsAllPaths(pkg *Package, c *funcCFG, spawnBlk *cfgBlock, spawnIdx int, ob oblig) bool {
+	match := joinMatcher(pkg, ob)
+
+	// A deferred join runs at every exit. Deferred closures run
+	// synchronously at exit, so the deep inspection is sound here.
+	for _, d := range c.defers {
+		found := false
+		ast.Inspect(d, func(m ast.Node) bool {
+			if match(m) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+
+	// Bare range-over-channel heads surface as expression nodes.
+	matchNode := func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && ob.kind == obRecv &&
+			isChanExpr(pkg.Info, e) && rootObject(pkg.Info, e) == ob.class {
+			return true
+		}
+		found := false
+		shallowWalk(n, func(m ast.Node) bool {
+			if match(m) {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+
+	// First join node per block; -1 means the block joins before any of
+	// its nodes (loop-head credit).
+	joinAt := make(map[*cfgBlock]int)
+	for _, blk := range c.blocks {
+		for i, n := range blk.nodes {
+			if matchNode(n) {
+				joinAt[blk] = i
+				break
+			}
+		}
+	}
+	// Credit a join inside a loop to the loop's head: the drain loop's
+	// trip count is out of static reach, so entering the loop counts as
+	// joining (`for i := 0; i < n; i++ { <-done }`).
+	for head, stmt := range c.loopHead {
+		if _, ok := joinAt[head]; ok {
+			continue
+		}
+		for blk, i := range joinAt {
+			if i < 0 {
+				continue
+			}
+			pos := blk.nodes[i].Pos()
+			if stmt.Pos() <= pos && pos <= stmt.End() {
+				joinAt[head] = -1
+				break
+			}
+		}
+	}
+
+	// The spawn's own block joins if a join node follows the spawn.
+	if i, ok := joinAt[spawnBlk]; ok && i > spawnIdx {
+		return true
+	}
+	// DFS from the spawn's successors; a join block absorbs the path, a
+	// successor-less block terminated (os.Exit), reaching exit leaks.
+	leak := false
+	visited := make(map[*cfgBlock]bool)
+	var dfs func(b *cfgBlock)
+	dfs = func(b *cfgBlock) {
+		if leak || visited[b] {
+			return
+		}
+		visited[b] = true
+		if _, ok := joinAt[b]; ok {
+			return
+		}
+		if b == c.exit {
+			leak = true
+			return
+		}
+		for _, e := range b.succs {
+			dfs(e.to)
+		}
+	}
+	for _, e := range spawnBlk.succs {
+		dfs(e.to)
+	}
+	return !leak
+}
+
+// lineKey identifies one source line for directive lookups.
+type lineKey struct {
+	file string
+	line int
+}
+
+// directiveLines indexes the lines in pkg carrying the given comment
+// directive (matched as a prefix, so rationale text may follow).
+func directiveLines(l *Loader, pkg *Package, prefix string) map[lineKey]bool {
+	lines := make(map[lineKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, prefix) {
+					p := l.fset.Position(c.Pos())
+					lines[lineKey{p.Filename, p.Line}] = true
+				}
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGoroLeakWaitOnAllPathsClean(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "sync"
+
+func F(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakWaitMissingOnEarlyReturn(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "sync"
+
+func F(n int, bail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	if bail {
+		return
+	}
+	wg.Wait()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleGoroLeak, 1)
+	if !strings.Contains(got[0].Message, "every path") {
+		t.Errorf("want a not-joined-on-every-path finding: %s", got[0].Message)
+	}
+}
+
+func TestGoroLeakChannelJoinClean(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func F() int {
+	done := make(chan int)
+	go func() { done <- 1 }()
+	return <-done
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakChannelNeverReceived(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func F() {
+	done := make(chan int)
+	go func() { done <- 1 }()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleGoroLeak, 1)
+	if !strings.Contains(got[0].Message, "goroutine") {
+		t.Errorf("leaked sender must be flagged: %s", got[0].Message)
+	}
+}
+
+func TestGoroLeakNoJoinHandleAtAll(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func F() {
+	go func() { println("orphan") }()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleGoroLeak, 1)
+	if !strings.Contains(got[0].Message, "no join handle") {
+		t.Errorf("handle-less goroutine must be flagged as such: %s", got[0].Message)
+	}
+}
+
+func TestGoroLeakFireAndForgetAnnotation(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func F() {
+	//skewlint:fire-and-forget -- metrics flush; process exit reaps it
+	go func() { println("orphan") }()
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakDrainLoopCredited(t *testing.T) {
+	// The drain loop might run zero times for n == 0, but the analyzer
+	// conservatively credits a join that lives inside a loop on the path.
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func F(n int) {
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- 1 }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakDeferredWaitJoinsEveryPath(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "sync"
+
+func F(bail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Wait()
+	go func() { defer wg.Done() }()
+	if bail {
+		return
+	}
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakFieldWaitGroupJoinedElsewhere(t *testing.T) {
+	// Spawn marks s.wg done; Close waits. The module-wide join index must
+	// connect them across method boundaries.
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+import "sync"
+
+type S struct{ wg sync.WaitGroup }
+
+func (s *S) Spawn() {
+	s.wg.Add(1)
+	go func() { defer s.wg.Done() }()
+}
+
+func (s *S) Close() {
+	s.wg.Wait()
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakReturnedHandleEscapes(t *testing.T) {
+	// The channel escapes to the caller, which owns the join obligation.
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+func F() chan int {
+	done := make(chan int)
+	go func() { done <- 1 }()
+	return done
+}
+`,
+	})
+	wantCount(t, fs, RuleGoroLeak, 0)
+}
+
+func TestGoroLeakConfiguredSpawner(t *testing.T) {
+	cfg := Config{LeakSpawners: map[string]string{"fixture.Group.Go": "Wait"}}
+	files := func(tail string) map[string]string {
+		return map[string]string{
+			"f.go": `package fixture
+
+type Group struct{}
+
+func (g *Group) Go(fn func()) {}
+func (g *Group) Wait()        {}
+
+func Use() {
+	var g Group
+	g.Go(func() {})
+` + tail + `}
+`,
+		}
+	}
+	fs := runFixture(t, cfg, files("\tg.Wait()\n"))
+	wantCount(t, fs, RuleGoroLeak, 0)
+
+	fs = runFixture(t, cfg, files(""))
+	got := wantCount(t, fs, RuleGoroLeak, 1)
+	if !strings.Contains(got[0].Message, "Go") {
+		t.Errorf("unjoined spawner call must name the spawner: %s", got[0].Message)
+	}
+}

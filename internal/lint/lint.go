@@ -26,10 +26,17 @@ func (f Finding) String() string {
 
 // Analyzer names, used in output, suppression comments, and Config.
 const (
-	RuleAtomic  = "atomic-consistency"
-	RuleCtx     = "ctx-propagation"
-	RuleHotPath = "hot-path-alloc"
-	RuleLock    = "lock-discipline"
+	RuleAtomic    = "atomic-consistency"
+	RuleCtx       = "ctx-propagation"
+	RuleHotPath   = "hot-path-alloc"
+	RuleLock      = "lock-discipline"
+	RuleLockOrder = "lock-order"
+	RuleGoroLeak  = "goroutine-leak"
+	RuleErrDrop   = "err-drop"
+	RuleRetry     = "retry-discipline"
+	// RuleUnusedIgnore is the pseudo-analyzer reporting stale
+	// //skewlint:ignore directives; enabled by Config.ReportUnusedIgnores.
+	RuleUnusedIgnore = "unused-ignore"
 )
 
 // Config tunes the analyzers.
@@ -48,6 +55,31 @@ type Config struct {
 	// regardless, so a field is recognised as atomic no matter where the
 	// atomic access lives.
 	AtomicScope []string
+	// LockAcquirers are qualified method names that count as lock
+	// acquisitions for lock-order, in addition to sync.Mutex/RWMutex
+	// Lock/RLock (e.g. the admission gate's Acquire).
+	LockAcquirers []string
+	// LeakSpawners maps spawner qualified names to the method on the same
+	// receiver class that joins the spawned work (e.g. exec.Group.Go ->
+	// "Wait"). Calls to a spawner obligate some reachable call to the join
+	// method, just like `go` statements obligate their WaitGroup/channel
+	// joins.
+	LeakSpawners map[string]string
+	// ErrDropAllowlist are qualified function names whose error result may
+	// be discarded as a bare statement (e.g. fmt.Fprintf to an in-memory
+	// buffer in rendering paths).
+	ErrDropAllowlist []string
+	// RetryScope restricts retry-discipline to packages with one of these
+	// import-path prefixes (empty disables the analyzer — retry loops are
+	// only a protocol concern in the cluster layer).
+	RetryScope []string
+	// RetryClassifiers are qualified method names that classify an error
+	// as transiently retryable (e.g. cluster.ShardError.Retryable). A
+	// retry loop must consult one before re-issuing.
+	RetryClassifiers []string
+	// ReportUnusedIgnores emits an unused-ignore finding for every
+	// //skewlint:ignore directive that suppressed nothing this run.
+	ReportUnusedIgnores bool
 }
 
 // DefaultConfig is the project configuration skewlint runs with: the
@@ -56,6 +88,7 @@ type Config struct {
 func DefaultConfig() Config {
 	const exec = "skewjoin/internal/exec"
 	const cluster = "skewjoin/internal/cluster"
+	const service = "skewjoin/internal/service"
 	return Config{
 		CtxSpawners: []string{
 			exec + ".Parallel",
@@ -80,6 +113,34 @@ func DefaultConfig() Config {
 			exec + ".MutexQueue.Drain",
 			exec + ".Group.Go",
 		},
+		LockAcquirers: []string{
+			// The per-shard admission gate: Acquire blocks like a weighted
+			// Lock, so its orderings feed the lock-order graph (the ring
+			// invariant lives here).
+			service + ".Admission.Acquire",
+		},
+		LeakSpawners: map[string]string{
+			// Group.Go spawns a goroutine joined by Group.Wait on the same
+			// group value.
+			exec + ".Group.Go": "Wait",
+		},
+		ErrDropAllowlist: []string{
+			// Terminal writes in CLI tools: a failed stdout write has no
+			// recovery and the process is about to exit anyway.
+			"fmt.Printf",
+			"fmt.Println",
+			"fmt.Print",
+			"fmt.Fprintf",
+			"fmt.Fprintln",
+			"fmt.Fprint",
+			// strings.Builder's Write* methods are documented to always
+			// return a nil error.
+			"strings.Builder.WriteString",
+		},
+		RetryScope: []string{cluster},
+		RetryClassifiers: []string{
+			cluster + ".ShardError.Retryable",
+		},
 	}
 }
 
@@ -91,7 +152,13 @@ func Run(l *Loader, pkgs []*Package, cfg Config) []Finding {
 	all = append(all, analyzeCtx(l, pkgs, cfg)...)
 	all = append(all, analyzeHotPath(l, pkgs)...)
 	all = append(all, analyzeLocks(l, pkgs)...)
-	all = suppress(l, pkgs, all)
+	model := newLockModel(cfg)
+	sums := buildSummaries(pkgs, model)
+	all = append(all, analyzeLockOrder(l, pkgs, model, sums)...)
+	all = append(all, analyzeGoroLeak(l, pkgs, cfg, sums)...)
+	all = append(all, analyzeErrDrop(l, pkgs, cfg)...)
+	all = append(all, analyzeRetry(l, pkgs, cfg)...)
+	all = suppress(l, pkgs, cfg, all)
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.File != b.File {
@@ -108,16 +175,29 @@ func Run(l *Loader, pkgs []*Package, cfg Config) []Finding {
 	return all
 }
 
+// relFile renders a source filename relative to the module root with
+// forward slashes (stable output regardless of invocation directory).
+// Files outside the module keep their original path.
+func (l *Loader) relFile(file string) string {
+	if rel, err := filepath.Rel(l.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// relPosition renders a cross-referenced position module-relative, so
+// messages stay stable across checkouts.
+func (l *Loader) relPosition(pos token.Pos) string {
+	p := l.fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", l.relFile(p.Filename), p.Line, p.Column)
+}
+
 // finding builds a Finding at pos with the file path relative to the
-// module root (stable output regardless of invocation directory).
+// module root.
 func (l *Loader) finding(pos token.Pos, analyzer, format string, args ...any) Finding {
 	p := l.fset.Position(pos)
-	file := p.Filename
-	if rel, err := filepath.Rel(l.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
-		file = filepath.ToSlash(rel)
-	}
 	return Finding{
-		File:     file,
+		File:     l.relFile(p.Filename),
 		Line:     p.Line,
 		Col:      p.Column,
 		Analyzer: analyzer,
@@ -128,12 +208,22 @@ func (l *Loader) finding(pos token.Pos, analyzer, format string, args ...any) Fi
 // suppress drops findings covered by a //skewlint:ignore directive on the
 // same line or the line directly above. A bare ignore suppresses every
 // rule on that line; `//skewlint:ignore rule1 rule2` only the named ones.
-func suppress(l *Loader, pkgs []*Package, findings []Finding) []Finding {
+// Directives and findings are both keyed by module-relative path, so
+// matching is independent of the directory skewlint was invoked from.
+// When cfg.ReportUnusedIgnores is set, every directive that suppressed
+// nothing becomes an unused-ignore finding.
+func suppress(l *Loader, pkgs []*Package, cfg Config, findings []Finding) []Finding {
 	type key struct {
 		file string
 		line int
 	}
-	ignores := make(map[key][]string) // nil slice = ignore all rules
+	type directive struct {
+		rules []string // nil = ignore all rules
+		pos   token.Pos
+		used  bool
+	}
+	ignores := make(map[key]*directive)
+	var order []key // deterministic unused-ignore output
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -152,27 +242,34 @@ func suppress(l *Loader, pkgs []*Package, findings []Finding) []Finding {
 							break
 						}
 					}
-					k := key{file: p.Filename, line: p.Line}
-					if len(rules) == 0 {
-						ignores[k] = nil
-						continue
+					k := key{file: l.relFile(p.Filename), line: p.Line}
+					d, seen := ignores[k]
+					if !seen {
+						d = &directive{pos: c.Pos()}
+						ignores[k] = d
+						order = append(order, k)
 					}
-					ignores[k] = append(ignores[k], rules...)
+					if len(rules) == 0 {
+						d.rules = nil
+					} else {
+						d.rules = append(d.rules, rules...)
+					}
 				}
 			}
 		}
 	}
 	matches := func(f Finding, line int) bool {
-		abs := filepath.Join(l.ModuleRoot, filepath.FromSlash(f.File))
-		rules, ok := ignores[key{file: abs, line: line}]
+		d, ok := ignores[key{file: f.File, line: line}]
 		if !ok {
 			return false
 		}
-		if len(rules) == 0 {
+		if len(d.rules) == 0 {
+			d.used = true
 			return true
 		}
-		for _, r := range rules {
+		for _, r := range d.rules {
 			if r == f.Analyzer {
+				d.used = true
 				return true
 			}
 		}
@@ -184,6 +281,20 @@ func suppress(l *Loader, pkgs []*Package, findings []Finding) []Finding {
 			continue
 		}
 		out = append(out, f)
+	}
+	if cfg.ReportUnusedIgnores {
+		for _, k := range order {
+			d := ignores[k]
+			if d.used {
+				continue
+			}
+			what := "all rules"
+			if len(d.rules) > 0 {
+				what = strings.Join(d.rules, ", ")
+			}
+			out = append(out, l.finding(d.pos, RuleUnusedIgnore,
+				"ignore directive for %s suppresses no finding; delete it", what))
+		}
 	}
 	return out
 }

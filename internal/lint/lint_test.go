@@ -7,9 +7,9 @@ import (
 	"testing"
 )
 
-// runFixture materialises a throwaway single-module fixture, loads every
-// package in it, and runs the analyzers with cfg.
-func runFixture(t *testing.T, cfg Config, files map[string]string) []Finding {
+// writeFixture materialises a throwaway single-module fixture on disk and
+// returns its root directory.
+func writeFixture(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
@@ -24,6 +24,13 @@ func runFixture(t *testing.T, cfg Config, files map[string]string) []Finding {
 			t.Fatal(err)
 		}
 	}
+	return dir
+}
+
+// loadFixture materialises a fixture and loads every package in it.
+func loadFixture(t *testing.T, files map[string]string) (*Loader, []*Package) {
+	t.Helper()
+	dir := writeFixture(t, files)
 	l, err := NewLoader(dir)
 	if err != nil {
 		t.Fatalf("NewLoader: %v", err)
@@ -32,6 +39,13 @@ func runFixture(t *testing.T, cfg Config, files map[string]string) []Finding {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
+	return l, pkgs
+}
+
+// runFixture loads a fixture and runs the analyzers with cfg.
+func runFixture(t *testing.T, cfg Config, files map[string]string) []Finding {
+	t.Helper()
+	l, pkgs := loadFixture(t, files)
 	return Run(l, pkgs, cfg)
 }
 
@@ -369,7 +383,9 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
 	}
-	for _, f := range Run(l, pkgs, DefaultConfig()) {
+	cfg := DefaultConfig()
+	cfg.ReportUnusedIgnores = true // stale suppressions fail the gate too
+	for _, f := range Run(l, pkgs, cfg) {
 		t.Errorf("unexpected finding: %s", f)
 	}
 }

@@ -284,7 +284,10 @@ func (l *Loader) typeCheck(path, dir string) (*Package, error) {
 			}
 		},
 	}
-	tpkg, _ := conf.Check(path, l.fset, files, info)
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr == nil && err != nil {
+		firstErr = err
+	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
 	}

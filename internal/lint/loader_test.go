@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoaderUnparseableFile(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"f.go": "package fixture\n\nfunc Broken( {\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.Load("./..."); err == nil {
+		t.Fatal("loading a module with a syntax error must fail")
+	}
+}
+
+func TestLoaderMissingPackage(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"f.go": "package fixture\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.Load("./does/not/exist"); err == nil {
+		t.Fatal("loading a nonexistent package directory must fail")
+	}
+}
+
+func TestLoaderTypeError(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"f.go": "package fixture\n\nvar x int = \"not an int\"\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = l.Load("./...")
+	if err == nil {
+		t.Fatal("loading a module with a type error must fail")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error should identify the type-checking phase: %v", err)
+	}
+}
+
+func TestLoaderTypeErrorInImportedPackage(t *testing.T) {
+	// The broken package is only reached through an import, exercising the
+	// ImportFrom path and the memoised error cache.
+	dir := writeFixture(t, map[string]string{
+		"main.go":     "package fixture\n\nimport \"fixture/bad\"\n\nvar _ = bad.X\n",
+		"bad/bad.go":  "package bad\n\nvar X int = \"nope\"\n",
+		"good/ok.go":  "package good\n",
+		"good/ok2.go": "package good\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.Load("."); err == nil {
+		t.Fatal("a type error in an imported package must surface")
+	}
+	// Loading the broken package again hits the cache, not a recheck.
+	if _, err := l.Load("./bad"); err == nil {
+		t.Fatal("cached load of the broken package must still fail")
+	}
+}
+
+func TestLoaderNoModule(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader outside any module must fail")
+	}
+}

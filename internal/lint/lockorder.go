@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// analyzeLockOrder builds a global lock-acquisition graph and reports
+// orderings that can deadlock.
+//
+// Lock classes are declared variables or struct fields (rootObject): every
+// sync.Mutex/RWMutex plus the configured acquirer receivers (the admission
+// gates). Within each function a MAY-held forward dataflow tracks which
+// classes can be held at each node; acquiring class B while A may be held
+// adds the edge A→B. One level of interprocedural reasoning comes from
+// call summaries: calling a function whose body acquires B counts as
+// acquiring B here, and a callee that returns still holding a class (the
+// admitAll shape) extends the caller's held set. //skewlint:guarded-by
+// annotations label guard mutexes in cycle reports, tying the graph back
+// to the data each lock protects.
+//
+// A cycle in the finished graph is a finding. So is acquiring a class
+// while another instance of the same class may already be held — the
+// per-shard gate family — unless the function declares
+// //skewlint:acquire-order AND its acquisition sites are provably
+// ordered: a single range loop over the family (ring order), or literal
+// indices that strictly ascend in source order. A declared order with
+// sites that do not ascend is itself a finding; this is how the cluster
+// router's ring invariant is machine-checked rather than trusted.
+func analyzeLockOrder(l *Loader, pkgs []*Package, model *lockModel, sums *summaries) []Finding {
+	var findings []Finding
+
+	edges := make(map[lockEdge]token.Pos)
+	addEdge := func(from, to types.Object, pos token.Pos) {
+		if from == to {
+			return
+		}
+		e := lockEdge{from, to}
+		if prev, ok := edges[e]; !ok || pos < prev {
+			edges[e] = pos
+		}
+	}
+
+	// Guard labels from //skewlint:guarded-by, for cycle messages.
+	guardOf := make(map[types.Object][]string)
+	for _, pkg := range pkgs {
+		var scratch []Finding // annotation errors are analyzeLocks's findings
+		for f, mu := range collectGuards(l, pkg, &scratch) {
+			guardOf[mu] = append(guardOf[mu], f.Name())
+		}
+	}
+
+	for _, pkg := range pkgs {
+		eachFuncBody(pkg, true, func(decl *ast.FuncDecl, _ *ast.FuncType, body *ast.BlockStmt) {
+			declared := hasDirective(decl.Doc, "skewlint:acquire-order")
+			sites := acquisitionSites(pkg, model, body)
+			cfg := buildCFG(pkg, body)
+			prob := &heldProblem{pkg: pkg, model: model, sums: sums}
+			in := runForward(cfg, prob, factSet{})
+
+			type selfAcq struct {
+				class types.Object
+				pos   token.Pos
+			}
+			var selfs []selfAcq
+			visitFixpoint(cfg, prob, in, func(n ast.Node, before factSet) {
+				switch n.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return // runs at exit / in another goroutine
+				}
+				held := before.clone()
+				shallowWalk(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if acq, ok := model.classifyLockCall(pkg, call); ok {
+						if acq.release {
+							delete(held, acq.class)
+							return true
+						}
+						if held.has(acq.class) {
+							selfs = append(selfs, selfAcq{acq.class, acq.sel.Pos()})
+						}
+						for h := range held {
+							addEdge(h.(types.Object), acq.class, acq.sel.Pos())
+						}
+						held[acq.class] = struct{}{}
+						return true
+					}
+					if fn := calleeFunc(pkg.Info, call); fn != nil {
+						if sum, ok := sums.funcs[fn]; ok {
+							for a := range sum.acquires {
+								if held.has(a) {
+									findings = append(findings, l.finding(call.Pos(), RuleLockOrder,
+										"call to %s acquires lock class %s while an instance may already be held",
+										fn.Name(), classLabel(a)))
+								}
+								for h := range held {
+									addEdge(h.(types.Object), a, call.Pos())
+								}
+							}
+							for a := range sum.heldAtExit {
+								held[a] = struct{}{}
+							}
+						}
+					}
+					return true
+				})
+			})
+
+			reported := make(map[types.Object]bool)
+			for _, s := range selfs {
+				if reported[s.class] {
+					continue
+				}
+				reported[s.class] = true
+				ordered, why := orderedSites(sites[s.class])
+				switch {
+				case declared && ordered:
+					// The declared order holds; the family acquisition is safe.
+				case declared:
+					findings = append(findings, l.finding(s.pos, RuleLockOrder,
+						"%s declares skewlint:acquire-order but its acquisitions of %s are not provably ordered: %s",
+						scopeName(decl), classLabel(s.class), why))
+				default:
+					findings = append(findings, l.finding(s.pos, RuleLockOrder,
+						"lock class %s acquired while an instance may already be held; order the family and declare //skewlint:acquire-order",
+						classLabel(s.class)))
+				}
+			}
+		})
+	}
+
+	// Cycle detection over the finished graph.
+	findings = append(findings, lockCycles(l, edges, guardOf)...)
+	return findings
+}
+
+// lockEdge is one observed ordering: from held while to acquired.
+type lockEdge struct{ from, to types.Object }
+
+// heldProblem is the MAY-held lattice: the set of lock classes that can be
+// held entering each node. Union at merges keeps loop-carried holds alive,
+// which is what exposes the per-shard gate family's self-acquisition.
+type heldProblem struct {
+	pkg   *Package
+	model *lockModel
+	sums  *summaries
+}
+
+func (p *heldProblem) must() bool { return false }
+
+func (p *heldProblem) refine(cond ast.Expr, when bool, f factSet) factSet { return f }
+
+func (p *heldProblem) transfer(n ast.Node, in factSet) factSet {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred releases run at exit, not here; spawned goroutines hold
+		// their locks on their own stack.
+		return in
+	}
+	out := in
+	mutate := func() factSet {
+		if sameSet(out, in) {
+			out = in.clone()
+		}
+		return out
+	}
+	shallowWalk(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if acq, ok := p.model.classifyLockCall(p.pkg, call); ok {
+			if acq.release {
+				delete(mutate(), acq.class)
+			} else {
+				mutate()[acq.class] = struct{}{}
+			}
+			return true
+		}
+		if fn := calleeFunc(p.pkg.Info, call); fn != nil {
+			if sum, ok := p.sums.funcs[fn]; ok {
+				for a := range sum.heldAtExit {
+					mutate()[a] = struct{}{}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sameSet reports whether a and b are the same underlying map (cheap
+// copy-on-write identity test, not equality).
+func sameSet(a, b factSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || a.equal(b)
+}
+
+// acqSite is one direct acquisition of a class in a function body.
+type acqSite struct {
+	pos     token.Pos
+	index   int  // literal index in the receiver chain (gates[0])
+	hasLit  bool // index is an integer literal
+	inRange bool // site sits inside a range-loop body of this scope
+}
+
+// acquisitionSites collects each class's direct acquisitions in body, in
+// source order, with the evidence orderedSites needs.
+func acquisitionSites(pkg *Package, model *lockModel, body *ast.BlockStmt) map[types.Object][]acqSite {
+	var ranges []*ast.RangeStmt
+	shallowWalk(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			ranges = append(ranges, rs)
+		}
+		return true
+	})
+	inRange := func(pos token.Pos) bool {
+		for _, rs := range ranges {
+			if rs.Body.Pos() <= pos && pos <= rs.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+	sites := make(map[types.Object][]acqSite)
+	shallowWalk(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		acq, ok := model.classifyLockCall(pkg, call)
+		if !ok || acq.release {
+			return true
+		}
+		s := acqSite{pos: acq.sel.Pos(), inRange: inRange(acq.sel.Pos())}
+		s.index, s.hasLit = literalIndex(acq.sel.X)
+		sites[acq.class] = append(sites[acq.class], s)
+		return true
+	})
+	for _, ss := range sites {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
+	}
+	return sites
+}
+
+// literalIndex finds an integer-literal index in the receiver chain
+// (gates[2].mu → 2).
+func literalIndex(e ast.Expr) (int, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if lit, ok := ast.Unparen(x.Index).(*ast.BasicLit); ok && lit.Kind == token.INT {
+				if v, err := strconv.Atoi(lit.Value); err == nil {
+					return v, true
+				}
+			}
+			e = x.X
+		default:
+			return 0, false
+		}
+	}
+}
+
+// orderedSites decides whether a class's acquisition sites are provably
+// ordered: every site inside a range loop (the family is walked in index
+// order), or every site indexed by strictly ascending integer literals.
+func orderedSites(sites []acqSite) (bool, string) {
+	if len(sites) == 0 {
+		return false, "no direct acquisition sites in this function"
+	}
+	allRange, allLit := true, true
+	for _, s := range sites {
+		allRange = allRange && s.inRange
+		allLit = allLit && s.hasLit
+	}
+	if allRange {
+		return true, ""
+	}
+	if allLit {
+		for i := 1; i < len(sites); i++ {
+			if sites[i].index <= sites[i-1].index {
+				return false, "literal indices do not strictly ascend in source order"
+			}
+		}
+		return true, ""
+	}
+	return false, "sites are neither all inside a range loop nor all literal-indexed"
+}
+
+// lockCycles runs Tarjan's SCC over the acquisition graph and reports each
+// strongly connected component of more than one class.
+func lockCycles(l *Loader, edges map[lockEdge]token.Pos, guardOf map[types.Object][]string) []Finding {
+	succs := make(map[types.Object][]types.Object)
+	var nodes []types.Object
+	seen := make(map[types.Object]bool)
+	note := func(o types.Object) {
+		if !seen[o] {
+			seen[o] = true
+			nodes = append(nodes, o)
+		}
+	}
+	for e := range edges {
+		note(e.from)
+		note(e.to)
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return classLabel(nodes[i]) < classLabel(nodes[j]) })
+	for _, ss := range succs {
+		sort.Slice(ss, func(i, j int) bool { return classLabel(ss[i]) < classLabel(ss[j]) })
+	}
+
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	var stack []types.Object
+	var sccs [][]types.Object
+	next := 0
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	var findings []Finding
+	for _, scc := range sccs {
+		member := make(map[types.Object]bool, len(scc))
+		labels := make([]string, 0, len(scc))
+		for _, o := range scc {
+			member[o] = true
+			lbl := classLabel(o)
+			if fields := guardOf[o]; len(fields) > 0 {
+				sort.Strings(fields)
+				lbl += " (guards " + strings.Join(fields, ", ") + ")"
+			}
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		pos := token.Pos(0)
+		for e, p := range edges {
+			if member[e.from] && member[e.to] && (pos == 0 || p < pos) {
+				pos = p
+			}
+		}
+		findings = append(findings, l.finding(pos, RuleLockOrder,
+			"lock classes form an acquisition cycle: %s; pick one global order",
+			strings.Join(labels, " ⇄ ")))
+	}
+	return findings
+}
+
+// classLabel names a lock class for messages: Struct.field for fields,
+// plain name otherwise.
+func classLabel(o types.Object) string {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		return fieldLabel(v)
+	}
+	return o.Name()
+}
+
+// scopeName names the analysis scope for messages.
+func scopeName(decl *ast.FuncDecl) string {
+	if decl == nil {
+		return "function literal"
+	}
+	return decl.Name.Name
+}

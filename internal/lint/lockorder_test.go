@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderCycleFlagged(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"p.go": `package fixture
+
+import "sync"
+
+type P struct{ a, b sync.Mutex }
+
+func F(p *P) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func G(p *P) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleLockOrder, 1)
+	if !strings.Contains(got[0].Message, "cycle") {
+		t.Errorf("want an acquisition-cycle finding, got: %s", got[0].Message)
+	}
+	if !strings.Contains(got[0].Message, "P.a") || !strings.Contains(got[0].Message, "P.b") {
+		t.Errorf("cycle finding should name both lock classes: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderConsistentOrderClean(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"p.go": `package fixture
+
+import "sync"
+
+type P struct{ a, b sync.Mutex }
+
+func F(p *P) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func G(p *P) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+`,
+	})
+	wantCount(t, fs, RuleLockOrder, 0)
+}
+
+func TestLockOrderCycleThroughCallSummary(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"p.go": `package fixture
+
+import "sync"
+
+type P struct{ a, b sync.Mutex }
+
+func F(p *P) {
+	p.a.Lock()
+	lockB(p)
+	p.a.Unlock()
+}
+
+func lockB(p *P) {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func G(p *P) {
+	p.b.Lock()
+	lockA(p)
+	p.b.Unlock()
+}
+
+func lockA(p *P) {
+	p.a.Lock()
+	p.a.Unlock()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleLockOrder, 1)
+	if !strings.Contains(got[0].Message, "cycle") {
+		t.Errorf("want a cycle found through one-level call summaries: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderReleaseBreaksEdge(t *testing.T) {
+	// F releases a before taking b, G the reverse: no lock is ever held
+	// while the other is acquired, so there is no ordering edge at all.
+	fs := runFixture(t, Config{}, map[string]string{
+		"p.go": `package fixture
+
+import "sync"
+
+type P struct{ a, b sync.Mutex }
+
+func F(p *P) {
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func G(p *P) {
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+`,
+	})
+	wantCount(t, fs, RuleLockOrder, 0)
+}
+
+// ringFixture is the cluster router's gate-admission pattern distilled: a
+// family of gates acquired member-by-member. The acquire-order directive
+// declares a total order; the analyzer must verify it.
+func ringFixture(admitAll string) map[string]string {
+	return map[string]string{
+		"r.go": `package fixture
+
+import "context"
+
+type Gate struct{}
+
+func (g *Gate) Acquire(ctx context.Context, n int) error { return nil }
+func (g *Gate) Release(n int)                            {}
+
+type Ring struct{ gates []*Gate }
+
+` + admitAll,
+	}
+}
+
+func ringConfig() Config {
+	return Config{LockAcquirers: []string{"fixture.Gate.Acquire"}}
+}
+
+func TestLockOrderRingRangeLoopWithDirectiveClean(t *testing.T) {
+	fs := runFixture(t, ringConfig(), ringFixture(`
+//skewlint:acquire-order ring -- gates are ranged in ring order
+func (r *Ring) AdmitAll(ctx context.Context) error {
+	for _, g := range r.gates {
+		if err := g.Acquire(ctx, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`))
+	wantCount(t, fs, RuleLockOrder, 0)
+}
+
+func TestLockOrderRingWithoutDirectiveFlagged(t *testing.T) {
+	fs := runFixture(t, ringConfig(), ringFixture(`
+func (r *Ring) AdmitAll(ctx context.Context) error {
+	for _, g := range r.gates {
+		if err := g.Acquire(ctx, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`))
+	got := wantCount(t, fs, RuleLockOrder, 1)
+	if !strings.Contains(got[0].Message, "acquire-order") {
+		t.Errorf("undeclared family acquisition should point at the directive: %s", got[0].Message)
+	}
+}
+
+// TestLockOrderRingReorderedIndicesFlagged is the acceptance fixture from
+// the issue: reordering two gate acquisitions under a declared total order
+// must fail, and the ascending version must stay clean.
+func TestLockOrderRingReorderedIndicesFlagged(t *testing.T) {
+	fs := runFixture(t, ringConfig(), ringFixture(`
+//skewlint:acquire-order ring -- hand-unrolled ring order
+func (r *Ring) AdmitPair(ctx context.Context) error {
+	if err := r.gates[1].Acquire(ctx, 1); err != nil {
+		return err
+	}
+	if err := r.gates[0].Acquire(ctx, 1); err != nil {
+		return err
+	}
+	return nil
+}
+`))
+	got := wantCount(t, fs, RuleLockOrder, 1)
+	if !strings.Contains(got[0].Message, "order") {
+		t.Errorf("reordered gate acquisition must be flagged: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderRingAscendingIndicesClean(t *testing.T) {
+	fs := runFixture(t, ringConfig(), ringFixture(`
+//skewlint:acquire-order ring -- hand-unrolled ring order
+func (r *Ring) AdmitPair(ctx context.Context) error {
+	if err := r.gates[0].Acquire(ctx, 1); err != nil {
+		return err
+	}
+	if err := r.gates[1].Acquire(ctx, 1); err != nil {
+		return err
+	}
+	return nil
+}
+`))
+	wantCount(t, fs, RuleLockOrder, 0)
+}
+
+func TestLockOrderDeferredUnlockStillOrders(t *testing.T) {
+	// defer mu.Unlock() releases at exit, not at the defer statement: the
+	// a→b edge from F and b→a from G must still form a cycle.
+	fs := runFixture(t, Config{}, map[string]string{
+		"p.go": `package fixture
+
+import "sync"
+
+type P struct{ a, b sync.Mutex }
+
+func F(p *P) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func G(p *P) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+`,
+	})
+	wantCount(t, fs, RuleLockOrder, 1)
+}

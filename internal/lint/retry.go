@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzeRetry enforces retry discipline in the configured scope
+// (Config.RetryScope, the cluster layer): a loop that re-issues work
+// after a failure must (a) classify the failure as transient through a
+// configured classifier (Config.RetryClassifiers, e.g.
+// ShardError.Retryable) before looping, and (b) consume a context
+// deadline (ctx.Err() or <-ctx.Done()) so the retries cannot outlive the
+// fleet's budget.
+//
+// A retry loop is detected by dataflow, not pattern-matching: a non-range
+// `for` whose back edge can be taken while an error-typed local may still
+// be non-nil. The may-non-nil fact is generated when a call's error is
+// assigned, killed on branch edges that prove the value nil
+// (nil-condition refinement), and killed by non-call reassignment. Loops
+// that bail out on every failure (`if err != nil { return err }`) never
+// carry the fact around the back edge and are exempt — only loops that
+// actually go around again holding a failure answer for the protocol.
+func analyzeRetry(l *Loader, pkgs []*Package, cfg Config) []Finding {
+	if len(cfg.RetryScope) == 0 {
+		return nil
+	}
+	classifiers := make(map[string]bool, len(cfg.RetryClassifiers))
+	for _, c := range cfg.RetryClassifiers {
+		classifiers[c] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if !inScope(pkg, cfg.RetryScope) {
+			continue
+		}
+		eachFuncBody(pkg, true, func(decl *ast.FuncDecl, _ *ast.FuncType, body *ast.BlockStmt) {
+			tracked := trackedErrVars(pkg, body)
+			if len(tracked) == 0 {
+				return
+			}
+			c := buildCFG(pkg, body)
+			prob := &nonNilProblem{pkg: pkg, tracked: tracked}
+			in := runForward(c, prob, factSet{})
+			for head, stmt := range c.loopHead {
+				fs, ok := stmt.(*ast.ForStmt)
+				if !ok {
+					continue // range loops iterate a fixed collection, not a retry budget
+				}
+				if !backEdgeCarriesError(pkg, prob, c, in, head, fs) {
+					continue
+				}
+				if !loopCalls(pkg, fs, func(fn *types.Func) bool { return classifiers[qualifiedName(fn)] }) {
+					findings = append(findings, l.finding(fs.Pos(), RuleRetry,
+						"retry loop re-issues without classifying the failure as transient; gate the retry on a configured classifier (e.g. ShardError.Retryable)"))
+				}
+				if !loopConsumesCtx(pkg, fs) {
+					findings = append(findings, l.finding(fs.Pos(), RuleRetry,
+						"retry loop does not consume a context deadline; check ctx.Err() or select on ctx.Done() between attempts"))
+				}
+			}
+		})
+	}
+	return findings
+}
+
+// backEdgeCarriesError reports whether some edge back to the loop head
+// can carry a may-non-nil error fact: the loop re-issues after a failure.
+// Back edges are the head's predecessors whose blocks hold nodes inside
+// the loop statement (the pre-header sits outside it).
+func backEdgeCarriesError(pkg *Package, prob *nonNilProblem, c *funcCFG, in blockFacts, head *cfgBlock, loop *ast.ForStmt) bool {
+	for _, blk := range c.blocks {
+		facts, reached := in[blk]
+		if !reached {
+			continue
+		}
+		edgesToHead := false
+		for _, e := range blk.succs {
+			if e.to == head {
+				edgesToHead = true
+			}
+		}
+		if !edgesToHead || !blockInside(blk, loop) {
+			continue
+		}
+		for _, n := range blk.nodes {
+			facts = prob.transfer(n, facts)
+		}
+		for _, e := range blk.succs {
+			if e.to != head {
+				continue
+			}
+			out := facts
+			if e.cond != nil {
+				out = prob.refine(e.cond, e.when, out)
+			}
+			if len(out) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockInside reports whether the block holds at least one node
+// positioned inside the loop statement's source range.
+func blockInside(blk *cfgBlock, loop *ast.ForStmt) bool {
+	for _, n := range blk.nodes {
+		if loop.Pos() <= n.Pos() && n.Pos() <= loop.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// loopCalls reports whether any call inside the loop satisfies pred.
+func loopCalls(pkg *Package, loop *ast.ForStmt, pred func(fn *types.Func) bool) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg.Info, call); fn != nil && pred(fn) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// loopConsumesCtx reports whether the loop observes a context deadline:
+// a ctx.Err() call or a receive from ctx.Done() anywhere inside it.
+func loopConsumesCtx(pkg *Package, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[sel.X]; ok && tv.Type != nil && isContextType(tv.Type) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// nonNilProblem: facts are tracked error locals that may hold a non-nil
+// call result. MAY lattice; nil-proving branch edges kill.
+type nonNilProblem struct {
+	pkg     *Package
+	tracked map[*types.Var]bool
+}
+
+func (p *nonNilProblem) must() bool { return false }
+
+func (p *nonNilProblem) refine(cond ast.Expr, when bool, f factSet) factSet {
+	facts := nilCondFacts(p.pkg, cond, when, func(e ast.Expr) any {
+		if v := identVar(p.pkg, e); v != nil && p.tracked[v] {
+			return v
+		}
+		return nil
+	})
+	out := f
+	for _, cf := range facts {
+		if cf.isNil && out.has(cf.obj) {
+			if sameSet(out, f) {
+				out = f.clone()
+			}
+			delete(out, cf.obj)
+		}
+	}
+	return out
+}
+
+func (p *nonNilProblem) transfer(n ast.Node, in factSet) factSet {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	out := in
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := identVar(p.pkg, id)
+		if v == nil || !p.tracked[v] {
+			continue
+		}
+		if sameSet(out, in) {
+			out = in.clone()
+		}
+		if assignGensError(p.pkg, as, i) {
+			out[v] = struct{}{}
+		} else {
+			delete(out, v)
+		}
+	}
+	return out
+}

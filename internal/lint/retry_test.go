@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// retryFixture provides the transient-error vocabulary the analyzer is
+// configured with, plus one function under test.
+func retryFixture(fn string) map[string]string {
+	return map[string]string{
+		"e.go": `package fixture
+
+import "context"
+
+type E struct{}
+
+func (e *E) Error() string   { return "e" }
+func (e *E) Retryable() bool { return true }
+
+func attempt(ctx context.Context) error { return nil }
+`,
+		"f.go": "package fixture\n\nimport \"context\"\n\n" + fn,
+	}
+}
+
+func retryCfg() Config {
+	return Config{
+		RetryScope:       []string{"fixture"},
+		RetryClassifiers: []string{"fixture.E.Retryable"},
+	}
+}
+
+func TestRetryDisciplinedLoopClean(t *testing.T) {
+	fs := runFixture(t, retryCfg(), retryFixture(`
+func Do(ctx context.Context, e *E) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = attempt(ctx)
+		if err == nil {
+			return nil
+		}
+		if !e.Retryable() {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
+}
+`))
+	wantCount(t, fs, RuleRetry, 0)
+}
+
+func TestRetryWithoutClassifierFlagged(t *testing.T) {
+	fs := runFixture(t, retryCfg(), retryFixture(`
+func Do(ctx context.Context) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = attempt(ctx)
+		if err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
+}
+`))
+	got := wantCount(t, fs, RuleRetry, 1)
+	if !strings.Contains(got[0].Message, "classif") {
+		t.Errorf("want a missing-classifier finding: %s", got[0].Message)
+	}
+}
+
+func TestRetryWithoutContextDeadlineFlagged(t *testing.T) {
+	fs := runFixture(t, retryCfg(), retryFixture(`
+func Do(ctx context.Context, e *E) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = attempt(ctx)
+		if err == nil {
+			return nil
+		}
+		if !e.Retryable() {
+			return err
+		}
+	}
+	return err
+}
+`))
+	got := wantCount(t, fs, RuleRetry, 1)
+	if !strings.Contains(got[0].Message, "context deadline") {
+		t.Errorf("want a missing-deadline finding: %s", got[0].Message)
+	}
+}
+
+func TestRetryNonRetryLoopClean(t *testing.T) {
+	// The loop bails out on error: the back edge never carries a non-nil
+	// error, so this is not a retry loop.
+	fs := runFixture(t, retryCfg(), retryFixture(`
+func Do(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if err := attempt(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`))
+	wantCount(t, fs, RuleRetry, 0)
+}
+
+func TestRetryOutOfScopePackageIgnored(t *testing.T) {
+	cfg := retryCfg()
+	cfg.RetryScope = []string{"otherpkg"}
+	fs := runFixture(t, cfg, retryFixture(`
+func Do(ctx context.Context) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = attempt(ctx)
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+`))
+	wantCount(t, fs, RuleRetry, 0)
+}
+
+func TestRetryRangeLoopExempt(t *testing.T) {
+	fs := runFixture(t, retryCfg(), retryFixture(`
+func Do(ctx context.Context, xs []int) error {
+	var err error
+	for range xs {
+		err = attempt(ctx)
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+`))
+	wantCount(t, fs, RuleRetry, 0)
+}

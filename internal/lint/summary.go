@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The call-summary layer gives the flow-sensitive analyzers one bounded
+// level of interprocedural reasoning: every function in the loaded
+// packages gets a summary computed purely from its own body (never from
+// other summaries, so the propagation depth is exactly one call), and the
+// analyzers consult callee summaries at call sites.
+//
+//   - lock-order uses acquires/heldAtExit: calling a function that takes
+//     locks while holding one orders the caller's locks before the
+//     callee's, and a callee that returns still holding a lock (the
+//     admitAll pattern) extends the caller's held set.
+//   - goroutine-leak uses the field-join indexes: a goroutine that Done()s
+//     a struct-field WaitGroup is joined if *some* function in the module
+//     Waits on that field (the exec.Group shape, where Go and Wait are
+//     different methods).
+type summary struct {
+	// acquires are the lock classes this function's own body may acquire
+	// (mutex Lock/RLock plus configured acquirer methods).
+	acquires map[types.Object]token.Pos
+	// heldAtExit are the lock classes acquired in the body with no
+	// non-deferred release anywhere in it — a flow-insensitive
+	// approximation of "still held when the function returns".
+	heldAtExit map[types.Object]bool
+}
+
+// summaries carries the per-module summary tables.
+type summaries struct {
+	funcs map[*types.Func]*summary
+
+	// waitedFields / receivedFields / closedFields index join operations
+	// on struct fields anywhere in the module: fields on which some
+	// function calls Wait, receives (<-f or range f), or close(f)/sends.
+	waitedFields   map[types.Object]bool
+	receivedFields map[types.Object]bool
+	closedFields   map[types.Object]bool
+}
+
+// acquireSites describes the configured non-mutex lock acquirers
+// (qualified method name -> true), e.g. service.Admission.Acquire.
+type lockModel struct {
+	acquirers map[string]bool
+}
+
+func newLockModel(cfg Config) *lockModel {
+	m := &lockModel{acquirers: make(map[string]bool, len(cfg.LockAcquirers))}
+	for _, a := range cfg.LockAcquirers {
+		m.acquirers[a] = true
+	}
+	return m
+}
+
+// acquisition classifies one call node: the lock class it acquires or
+// releases, if any.
+type acquisition struct {
+	class   types.Object
+	release bool // Unlock/RUnlock
+	rlock   bool // RLock/RUnlock (read side)
+	sel     *ast.SelectorExpr
+}
+
+// classifyLockCall resolves call to a lock acquisition/release on a
+// trackable class, or returns false. Receiver chains rooted in fields,
+// package vars, or locals all classify; calls through interfaces or
+// untracked expressions do not.
+func (m *lockModel) classifyLockCall(pkg *Package, call *ast.CallExpr) (acquisition, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return acquisition{}, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return acquisition{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return acquisition{}, false
+	}
+	if isMutexMethodType(recv.Type()) {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			class := rootObject(pkg.Info, sel.X)
+			if class == nil {
+				return acquisition{}, false
+			}
+			return acquisition{
+				class:   class,
+				release: sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock",
+				rlock:   sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock",
+				sel:     sel,
+			}, true
+		}
+		return acquisition{}, false
+	}
+	if m.acquirers[qualifiedName(fn)] {
+		class := rootObject(pkg.Info, sel.X)
+		if class == nil {
+			return acquisition{}, false
+		}
+		return acquisition{class: class, sel: sel}, true
+	}
+	return acquisition{}, false
+}
+
+func isMutexMethodType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isMutexType(t)
+}
+
+// buildSummaries computes every function's summary and the module-wide
+// field-join indexes in one pass over the loaded packages.
+func buildSummaries(pkgs []*Package, m *lockModel) *summaries {
+	s := &summaries{
+		funcs:          make(map[*types.Func]*summary),
+		waitedFields:   make(map[types.Object]bool),
+		receivedFields: make(map[types.Object]bool),
+		closedFields:   make(map[types.Object]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				sum := summarizeBody(pkg, m, fd.Body)
+				if fn != nil {
+					s.funcs[fn] = sum
+				}
+				s.indexJoins(pkg, fd.Body)
+			}
+		}
+	}
+	return s
+}
+
+// summarizeBody computes one function's lock summary from its body alone.
+// Closures in the body count toward the function: a lock taken inside a
+// closure the function runs is still a lock this call may take.
+func summarizeBody(pkg *Package, m *lockModel, body *ast.BlockStmt) *summary {
+	sum := &summary{
+		acquires:   make(map[types.Object]token.Pos),
+		heldAtExit: make(map[types.Object]bool),
+	}
+	released := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		acq, ok := m.classifyLockCall(pkg, call)
+		if !ok {
+			return true
+		}
+		if acq.release {
+			released[acq.class] = true
+			return true
+		}
+		if _, seen := sum.acquires[acq.class]; !seen {
+			sum.acquires[acq.class] = acq.sel.Pos()
+		}
+		return true
+	})
+	for class := range sum.acquires {
+		if !released[class] {
+			sum.heldAtExit[class] = true
+		}
+	}
+	return sum
+}
+
+// indexJoins records joins performed on struct fields: Wait() on a
+// field WaitGroup or configured group type, receives from field channels,
+// and close/sends on field channels.
+func (s *summaries) indexJoins(pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Wait" {
+					if f := fieldRoot(pkg.Info, fun.X); f != nil {
+						s.waitedFields[f] = true
+					}
+				}
+			case *ast.Ident:
+				if fun.Name == "close" && isBuiltin(pkg.Info, n, "close") && len(n.Args) == 1 {
+					if f := fieldRoot(pkg.Info, n.Args[0]); f != nil {
+						s.closedFields[f] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if f := fieldRoot(pkg.Info, n.X); f != nil {
+					s.receivedFields[f] = true
+				}
+			}
+		case *ast.SendStmt:
+			if f := fieldRoot(pkg.Info, n.Chan); f != nil {
+				s.closedFields[f] = true
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(pkg.Info, n.X) {
+				if f := fieldRoot(pkg.Info, n.X); f != nil {
+					s.receivedFields[f] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldRoot returns the root object of e only when it is a struct field
+// (the cross-function join index keys on declared fields, not locals).
+func fieldRoot(info *types.Info, e ast.Expr) types.Object {
+	obj := rootObject(info, e)
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ignoredFixture has one real finding (ctx-propagation) suppressed by an
+// ignore directive, in a package below the module root.
+var ignoredFixture = map[string]string{
+	"sub/f.go": `package sub
+
+func Launch(n int) { //skewlint:ignore ctx-propagation -- test fixture
+	go func() {}()
+}
+`,
+}
+
+// TestSuppressionFromSubdirectory is the regression test for the
+// absolute-vs-relative key mismatch: a loader rooted via a subdirectory of
+// the module must still match ignore directives against findings.
+func TestSuppressionFromSubdirectory(t *testing.T) {
+	dir := writeFixture(t, ignoredFixture)
+	// Start the loader from the subdirectory, the way a developer running
+	// `skewlint ./...` from inside internal/... would.
+	l, err := NewLoader(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModuleRoot != dir {
+		t.Fatalf("loader must root at the module, got %s", l.ModuleRoot)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fs := Run(l, pkgs, Config{})
+	wantCount(t, fs, RuleCtx, 0)
+}
+
+func TestUnusedIgnoreReported(t *testing.T) {
+	cfg := Config{ReportUnusedIgnores: true}
+	fs := runFixture(t, cfg, map[string]string{
+		"f.go": `package fixture
+
+//skewlint:ignore hot-path-alloc -- stale: nothing here allocates
+func Quiet() {}
+
+func Launch(n int) { //skewlint:ignore ctx-propagation -- live suppression
+	go func() {}()
+}
+`,
+	})
+	got := wantCount(t, fs, RuleUnusedIgnore, 1)
+	if !strings.Contains(got[0].Message, "hot-path-alloc") {
+		t.Errorf("the stale directive should be named; the live one spared: %s", got[0].Message)
+	}
+	wantCount(t, fs, RuleCtx, 0)
+}
+
+func TestUnusedIgnoreOffByDefault(t *testing.T) {
+	fs := runFixture(t, Config{}, map[string]string{
+		"f.go": `package fixture
+
+//skewlint:ignore hot-path-alloc -- stale
+func Quiet() {}
+`,
+	})
+	wantCount(t, fs, RuleUnusedIgnore, 0)
+}
+
+func TestUnusedIgnoreBlanketDirective(t *testing.T) {
+	cfg := Config{ReportUnusedIgnores: true}
+	fs := runFixture(t, cfg, map[string]string{
+		"f.go": `package fixture
+
+//skewlint:ignore
+func Quiet() {}
+`,
+	})
+	got := wantCount(t, fs, RuleUnusedIgnore, 1)
+	if !strings.Contains(got[0].Message, "all rules") {
+		t.Errorf("a blanket ignore should read as suppressing all rules: %s", got[0].Message)
+	}
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "sync/atomic"
+
+type S struct{ n int64 }
+
+func Inc(s *S) { atomic.AddInt64(&s.n, 1) }
+
+func Read(s *S) int64 { return s.n }

@@ -1,0 +1,11 @@
+package fixture
+
+func Launch(n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,7 @@
+package fixture
+
+import "os"
+
+func purge(name string) {
+	os.Remove(name)
+}

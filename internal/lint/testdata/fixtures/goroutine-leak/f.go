@@ -1,0 +1,5 @@
+package fixture
+
+func orphan() {
+	go func() { println("orphan") }()
+}

@@ -1,0 +1,10 @@
+package fixture
+
+//skewlint:hotpath
+func hot(xs []int) map[int]int {
+	m := make(map[int]int)
+	for _, x := range xs {
+		m[x]++
+	}
+	return m
+}

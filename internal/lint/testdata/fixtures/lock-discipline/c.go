@@ -1,0 +1,16 @@
+package fixture
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int //skewlint:guarded-by mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Peek() int { return c.n }

@@ -1,0 +1,19 @@
+package fixture
+
+import "sync"
+
+type P struct{ a, b sync.Mutex }
+
+func first(p *P) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func second(p *P) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "context"
+
+type E struct{}
+
+func (e *E) Error() string   { return "e" }
+func (e *E) Retryable() bool { return true }
+
+func attempt(ctx context.Context) error { return nil }
+
+func do(ctx context.Context) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = attempt(ctx)
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}

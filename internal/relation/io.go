@@ -3,6 +3,7 @@ package relation
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -125,8 +126,7 @@ func (r Relation) SaveFile(path string) error {
 		return err
 	}
 	if _, err := r.WriteTo(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

@@ -171,7 +171,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+	enc.Encode(v) //skewlint:ignore err-drop -- write failure means the client went away; there is no channel left to report on
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
