@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-fixtures test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke bench-shard bench-shard-smoke experiments examples serve-smoke cluster-smoke clean
+.PHONY: all build vet test race lint lint-fixtures test-sanitize check fuzz bench bench-smoke bench-partition bench-join bench-gpu bench-coproc bench-coproc-smoke bench-shard bench-shard-smoke bench-stream bench-stream-smoke experiments examples serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -100,6 +100,24 @@ bench-shard-smoke:
 	grep -q '"makespan_ns"' /tmp/BENCH_shard.json
 	grep -q '"per_shard_ns"' /tmp/BENCH_shard.json
 	grep -q '"resolved"' /tmp/BENCH_shard.json
+
+# Streaming-join sweep (zipf x limit fraction x operator, with an A/A
+# streaming control); writes the machine-readable baseline committed as
+# BENCH_stream.json. The harness exits non-zero if the streaming
+# operator's time-to-limit is not 4x ahead of the blocking control at
+# small limits, or a no-limit streaming run regresses past parity (see
+# internal/bench/stream.go).
+bench-stream:
+	$(GO) run ./cmd/skewbench -exp stream -n 131072 -repeats 3 -out BENCH_stream.json
+
+# Tiny oracle-verified stream run for CI: exercises every (zipf, limit,
+# operator) cell, checks terminations against the oracle, and asserts the
+# JSON artifact carries the milestone clocks.
+bench-stream-smoke:
+	$(GO) run ./cmd/skewbench -exp stream -n 8192 -repeats 1 -out /tmp/BENCH_stream.json
+	grep -q '"time_to_first_ns"' /tmp/BENCH_stream.json
+	grep -q '"time_to_limit_ns"' /tmp/BENCH_stream.json
+	grep -q '"limit_hit"' /tmp/BENCH_stream.json
 
 # Regenerate every table and figure of the paper (plus extensions).
 experiments:

@@ -13,12 +13,15 @@
 // device profile, writing BENCH_coproc.json via make bench-coproc. The
 // shard experiment benchmarks the cluster router's fragment-and-replicate
 // routing against hash placement (plus an A/A control) on an in-process
-// 3-shard fleet, writing BENCH_shard.json via make bench-shard.
+// 3-shard fleet, writing BENCH_shard.json via make bench-shard. The
+// stream experiment benchmarks the streaming symmetric join's
+// time-to-first-result and time-to-limit against the blocking control
+// (plus an A/A control), writing BENCH_stream.json via make bench-stream.
 //
 // Usage:
 //
 //	skewbench [-exp fig1|fig4a|fig4b|table1|speedup|large|
-//	                analysis|sskew|sortvshash|memory|partition|join|gpu|coproc|shard|all]
+//	                analysis|sskew|sortvshash|memory|partition|join|gpu|coproc|shard|stream|all]
 //	          [-n tuples] [-threads k] [-seed s] [-zipf list] [-shm KiB]
 //	          [-json] [-plot] [-out file.json]
 //
@@ -55,7 +58,7 @@ type plotter interface {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, gpu, coproc, shard, or all")
+		exp     = flag.String("exp", "all", "experiment: fig1, fig4a, fig4b, table1, speedup, large, analysis, sskew, sortvshash, memory, partition, join, gpu, coproc, shard, stream, or all")
 		tuples  = flag.Int("n", 0, "tuples per input table (default $SKEWJOIN_TUPLES or 262144)")
 		threads = flag.Int("threads", 0, "CPU worker threads (default all cores)")
 		seed    = flag.Int64("seed", 42, "workload seed")
@@ -173,6 +176,9 @@ func run(name string, cfg bench.Config) (printer, bool, error) {
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	case "shard":
 		rep, err := bench.ShardBench(cfg)
+		return rep, rep != nil && len(rep.Errors) > 0, err
+	case "stream":
+		rep, err := bench.StreamBench(cfg)
 		return rep, rep != nil && len(rep.Errors) > 0, err
 	default:
 		return nil, false, fmt.Errorf("unknown experiment %q", name)

@@ -94,7 +94,7 @@ commands:
   relations                                      list the catalog
   drop <name>                                    remove a relation
   join <r> <s> [-alg A] [-backend cpu|gpu] [-threads N] [-timeout-ms N]
-               [-consumer summary|count|topk|groups] [-k N]
+               [-consumer summary|count|topk|groups] [-k N] [-limit N]
                [-routing auto|hash|frag]         (routing is router-only)
   stats                                          admission counters and latency histograms
   cluster-stats                                  per-shard fleet view (router only)
@@ -277,6 +277,7 @@ func (c *client) join(args []string) error {
 	timeoutMS := fs.Int64("timeout-ms", 0, "request deadline in ms (0 = server default)")
 	consumer := fs.String("consumer", "", "result consumer: summary (default), count, topk, or groups")
 	k := fs.Int("k", 0, "heavy-hitter count for -consumer topk")
+	limit := fs.Int("limit", 0, "stop after at least N results (CPU operators only; 0 = full join)")
 	routing := fs.String("routing", "", "cluster routing policy: auto, hash or frag (router only; a plain daemon rejects it)")
 	args, err := splitPositional(fs, args, 2)
 	if err != nil {
@@ -286,7 +287,7 @@ func (c *client) join(args []string) error {
 		R: args[0], S: args[1],
 		Algorithm: *alg, Backend: *backend, Threads: *threads,
 		TimeoutMS: *timeoutMS, Consumer: *consumer, K: *k,
-		Routing: *routing,
+		Limit: *limit, Routing: *routing,
 	}
 	var resp cluster.JoinResponse
 	if err := c.call("POST", "/join", req, &resp); err != nil {
@@ -299,8 +300,18 @@ func (c *client) join(args []string) error {
 	fmt.Printf("algorithm=%s (%s)\tmatches=%d\tchecksum=%#x\twait_ms=%.2f\tjoin_ms=%.2f\n",
 		resp.Algorithm, mode, resp.Matches, resp.Checksum, resp.WaitMS, resp.JoinMS)
 	if p := resp.Planner; p != nil {
-		fmt.Printf("planner\tskew_detected=%v\ttop_key_estimate=%d\tsample_size=%d\n",
-			p.SkewDetected, p.TopKeyEstimate, p.SampleSize)
+		fmt.Printf("planner\tskew_detected=%v\ttop_key_estimate=%d\tsample_size=%d\tstreaming=%v\n",
+			p.SkewDetected, p.TopKeyEstimate, p.SampleSize, p.Streaming)
+	}
+	if st := resp.Stream; st != nil {
+		fmt.Printf("stream\tfirst_result_ms=%.3f\tstaged=%d\tlimit_hit=%v", st.FirstResultMS, st.Staged, st.LimitHit)
+		if st.LimitHit {
+			fmt.Printf("\tlimit_ms=%.3f", st.LimitMS)
+		}
+		if st.Chunks > 0 {
+			fmt.Printf("\tchunks=%d", st.Chunks)
+		}
+		fmt.Println()
 	}
 	for _, ph := range resp.Phases {
 		fmt.Printf("phase\t%s\t%.3fms\n", ph.Name, ph.MS)
@@ -371,6 +382,10 @@ func (c *client) stats() error {
 		}
 		fmt.Printf("algorithm\t%s\tcount=%d\terrors=%d\tmean_ms=%.2f\tmax_ms=%.2f\n",
 			alg, as.Count, as.Errors, mean, as.MaxMS)
+		if fr := as.FirstResult; fr != nil {
+			fmt.Printf("first_result\t%s\tcount=%d\tmean_ms=%.3f\tmax_ms=%.3f\tlimit_hits=%d\n",
+				alg, fr.Count, fr.TotalMS/float64(fr.Count), fr.MaxMS, as.LimitHits)
+		}
 	}
 	return nil
 }

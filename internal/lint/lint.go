@@ -89,6 +89,7 @@ func DefaultConfig() Config {
 	const exec = "skewjoin/internal/exec"
 	const cluster = "skewjoin/internal/cluster"
 	const service = "skewjoin/internal/service"
+	const ssj = "skewjoin/internal/ssj"
 	return Config{
 		CtxSpawners: []string{
 			exec + ".Parallel",
@@ -102,6 +103,11 @@ func DefaultConfig() Config {
 			// shard; every closure it runs must take and pass the ctx so
 			// a fleet deadline reaches each shard call.
 			cluster + ".fanOut",
+			// The streaming symmetric join's chunk-drain fan-out: its
+			// workers run until the queue drains, the limit hook fires, or
+			// the caller cancels — so every exported caller must accept
+			// and forward a context.
+			ssj + ".drainChunks",
 		},
 		CtxAllowlist: []string{
 			// The paper's scheduling shapes are deliberately ctx-free:

@@ -116,6 +116,16 @@ type JoinRequest struct {
 	Consumer string `json:"consumer,omitempty"`
 	// K is the heavy-hitter count for Consumer "topk" (default 5).
 	K int `json:"k,omitempty"`
+	// Limit stops the join once at least this many results have been
+	// staged (0 = full join). Also settable as the ?limit=N query
+	// parameter on POST /join (the body field wins when both are given).
+	// An `auto` request with a limit is planned onto the streaming
+	// symmetric join when the planner predicts the stream satisfies it
+	// early; pinned GPU algorithms and backend:"split" reject a limit
+	// (their totals are modelled, not streamed). A limit-terminated join
+	// responds with stream.limit_hit and a partial result of at least
+	// Limit matches.
+	Limit int `json:"limit,omitempty"`
 	// ExcludeKeys drops every tuple carrying one of these keys from both
 	// inputs before the join runs. The cluster router carves the hot keys
 	// out of a shard's hash fragments this way while their tuples run
@@ -141,6 +151,29 @@ type PlannerInfo struct {
 	SkewDetected   bool `json:"skew_detected"`
 	TopKeyEstimate int  `json:"top_key_estimate"`
 	SampleSize     int  `json:"sample_size"`
+	// Streaming reports that the planner chose the streaming symmetric
+	// join for this limited request.
+	Streaming bool `json:"streaming,omitempty"`
+}
+
+// StreamInfo reports a join's incremental-delivery milestones: present
+// for the streaming symmetric join (always) and for blocking CPU joins
+// that ran with a limit.
+type StreamInfo struct {
+	// FirstResultMS is the time from join start to the first staged
+	// result (0 when the join output is empty).
+	FirstResultMS float64 `json:"first_result_ms"`
+	// LimitMS is the time from join start until the request's limit was
+	// reached (0 when no limit was set or it was never reached).
+	LimitMS float64 `json:"limit_ms,omitempty"`
+	// LimitHit reports the join stopped early at the requested limit;
+	// matches/checksum then digest a partial prefix of the join.
+	LimitHit bool `json:"limit_hit,omitempty"`
+	// Staged is the number of results staged when the run ended.
+	Staged uint64 `json:"staged"`
+	// Chunks is the number of streamed input chunks processed (streaming
+	// operator only).
+	Chunks int `json:"chunks,omitempty"`
 }
 
 // KeyWeight is one heavy-hitter entry of a "topk" consumer.
@@ -214,6 +247,9 @@ type JoinResponse struct {
 	JoinPhase *JoinPhaseInfo `json:"join_phase,omitempty"`
 	// Split holds the co-processing breakdown for backend:"split".
 	Split *SplitInfo `json:"split,omitempty"`
+	// Stream holds the incremental-delivery milestones (streaming
+	// operator or limited blocking run).
+	Stream *StreamInfo `json:"stream,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -260,6 +296,20 @@ type JoinPhaseTotals struct {
 	ProbeMS     float64 `json:"probe_ms"`
 }
 
+// FirstResultStats is the time-to-first-result histogram for the
+// requests of one algorithm that reported the milestone (streaming runs
+// and limited blocking runs). It is a separate histogram from the
+// whole-join latency one: a streaming join's first result arrives orders
+// of magnitude before its completion, and folding both into one
+// distribution would hide exactly the metric the streaming operator
+// exists to improve.
+type FirstResultStats struct {
+	Count   uint64       `json:"count"`
+	TotalMS float64      `json:"total_ms"`
+	MaxMS   float64      `json:"max_ms"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
 // AlgorithmStats is the cumulative per-algorithm service record: request
 // counts, a wall-clock latency histogram over successful joins, and
 // aggregated join-phase internals where the algorithm reports them.
@@ -270,6 +320,11 @@ type AlgorithmStats struct {
 	MaxMS     float64          `json:"max_ms"`
 	Buckets   []HistBucket     `json:"buckets"`
 	JoinPhase *JoinPhaseTotals `json:"join_phase,omitempty"`
+	// FirstResult is the time-to-first-result histogram; omitted until a
+	// request of this algorithm reports the milestone.
+	FirstResult *FirstResultStats `json:"first_result,omitempty"`
+	// LimitHits counts requests that terminated early at their limit.
+	LimitHits uint64 `json:"limit_hits,omitempty"`
 }
 
 // SplitTotals aggregates co-processing behaviour across every successful

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -326,14 +327,23 @@ func (s *Server) resolveAlgorithm(req JoinRequest, rStats skewjoin.RelationStats
 		}
 		return "", nil, fmt.Errorf("unknown algorithm %q", name)
 	}
-	rec := skewjoin.RecommendFromStats(rStats, s.cfg.Planner)
+	pcfg := s.cfg.Planner
+	pcfg.Limit = req.Limit
+	rec := skewjoin.RecommendFromStats(rStats, pcfg)
 	info := &PlannerInfo{
 		SkewDetected:   rec.SkewDetected,
 		TopKeyEstimate: rec.TopKeyEstimate,
 		SampleSize:     rec.SampleSize,
+		Streaming:      rec.Streaming,
 	}
 	switch req.Backend {
 	case "", "cpu":
+		// A limited interactive request the planner predicts will
+		// terminate early runs on the streaming symmetric join; full
+		// scans keep the blocking recommendation.
+		if rec.Streaming {
+			return skewjoin.SSJ, info, nil
+		}
 		return rec.CPU, info, nil
 	case "gpu":
 		return rec.GPU, info, nil
@@ -456,6 +466,23 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			"routing %q is a cluster-router field; this is a single-node server", req.Routing)
 		return
 	}
+	// ?limit=N is the query-parameter spelling of the body's limit field
+	// (the body wins when both are set), so interactive clients can bound
+	// a join without editing the request document.
+	if req.Limit == 0 {
+		if q := r.URL.Query().Get("limit"); q != "" {
+			n, convErr := strconv.Atoi(q)
+			if convErr != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", q)
+				return
+			}
+			req.Limit = n
+		}
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be non-negative, got %d", req.Limit)
+		return
+	}
 	rEntry, ok := s.catalog.Get(req.R)
 	if !ok {
 		writeError(w, http.StatusNotFound, "relation %q not registered", req.R)
@@ -469,6 +496,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	alg, plannerInfo, err := s.resolveAlgorithm(req, rEntry.Stats)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Limit > 0 && (alg.IsGPU() || alg == skewjoin.Split) {
+		writeError(w, http.StatusBadRequest,
+			"limit requires a CPU operator; algorithm %q cannot early-terminate (its totals are modelled, not streamed)", alg)
 		return
 	}
 	device, err := resolveDevice(req.Device)
@@ -524,7 +556,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	wait := time.Since(queuedAt)
 
-	opts := &skewjoin.Options{Threads: weight, Context: ctx, Device: device}
+	opts := &skewjoin.Options{Threads: weight, Context: ctx, Device: device, Limit: req.Limit}
 	// GPU simulation parallelism spends host workers too, so clamp it to
 	// the weight this request was admitted with.
 	if hp := req.HostParallelism; hp != 0 {
@@ -551,7 +583,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "join failed: %v", err)
 		return
 	}
-	s.rec.observe(string(alg), joinDur, res.JoinPhase)
+	s.rec.observe(string(alg), joinDur, res.JoinPhase, res.Stream)
 
 	resp := JoinResponse{
 		Algorithm: string(alg),
@@ -574,6 +606,15 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			ProbeVisits: jp.ProbeVisits,
 			BuildMS:     float64(jp.BuildNs) / 1e6,
 			ProbeMS:     float64(jp.ProbeNs) / 1e6,
+		}
+	}
+	if st := res.Stream; st != nil {
+		resp.Stream = &StreamInfo{
+			FirstResultMS: float64(st.FirstResultNs) / 1e6,
+			LimitMS:       float64(st.LimitNs) / 1e6,
+			LimitHit:      st.LimitHit,
+			Staged:        st.Staged,
+			Chunks:        st.Chunks,
 		}
 	}
 	if st := res.Split; st != nil {

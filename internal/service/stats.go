@@ -27,30 +27,76 @@ var latencyBounds = []time.Duration{
 	10 * time.Second,
 }
 
-// latencyHist is one algorithm's cumulative service record: how many
-// requests ran it, how many failed, and the wall-clock latency
-// distribution of the successes.
-type latencyHist struct {
+// durHist is a plain duration histogram over latencyBounds: count, sum,
+// max, and per-bucket tallies. latencyHist layers the per-algorithm error
+// and join-phase bookkeeping on top of one; the time-to-first-result
+// record is a second, independent durHist.
+type durHist struct {
 	count   uint64
-	errs    uint64
 	sum     time.Duration
 	max     time.Duration
 	buckets []uint64 // len(latencyBounds)+1; last is the overflow bucket
-	// jp aggregates join-phase internals of the successful requests that
-	// reported them (nil until the first one does).
-	jp *JoinPhaseTotals
 }
 
-func newLatencyHist() *latencyHist {
-	return &latencyHist{buckets: make([]uint64, len(latencyBounds)+1)}
+func newDurHist() *durHist {
+	return &durHist{buckets: make([]uint64, len(latencyBounds)+1)}
 }
 
-func (h *latencyHist) observe(d time.Duration, jp *skewjoin.JoinPhaseStats) {
+func (h *durHist) observe(d time.Duration) {
 	h.count++
 	h.sum += d
 	if d > h.max {
 		h.max = d
 	}
+	for i, b := range latencyBounds {
+		if d <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(latencyBounds)]++
+}
+
+// histBuckets renders the bucket tallies with their upper bounds in
+// milliseconds (-1 marks the overflow bucket).
+func (h *durHist) histBuckets() []HistBucket {
+	out := make([]HistBucket, 0, len(h.buckets))
+	for i, c := range h.buckets {
+		le := -1.0
+		if i < len(latencyBounds) {
+			le = float64(latencyBounds[i]) / float64(time.Millisecond)
+		}
+		out = append(out, HistBucket{LEMS: le, Count: c})
+	}
+	return out
+}
+
+// latencyHist is one algorithm's cumulative service record: how many
+// requests ran it, how many failed, and the wall-clock latency
+// distribution of the successes. The whole-join distribution and the
+// time-to-first-result distribution are kept as separate histograms — a
+// streaming join's first result lands orders of magnitude before its
+// completion, and folding both into one set of buckets would bury the
+// metric the streaming operator is measured by.
+type latencyHist struct {
+	durHist
+	errs uint64
+	// jp aggregates join-phase internals of the successful requests that
+	// reported them (nil until the first one does).
+	jp *JoinPhaseTotals
+	// first is the time-to-first-result histogram (nil until a streaming
+	// or limited run reports the milestone).
+	first *durHist
+	// limitHits counts requests that terminated early at their limit.
+	limitHits uint64
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{durHist: *newDurHist()}
+}
+
+func (h *latencyHist) observe(d time.Duration, jp *skewjoin.JoinPhaseStats, stream *skewjoin.StreamStats) {
+	h.durHist.observe(d)
 	if jp != nil {
 		if h.jp == nil {
 			h.jp = &JoinPhaseTotals{}
@@ -64,33 +110,39 @@ func (h *latencyHist) observe(d time.Duration, jp *skewjoin.JoinPhaseStats) {
 		h.jp.BuildMS += float64(jp.BuildNs) / 1e6
 		h.jp.ProbeMS += float64(jp.ProbeNs) / 1e6
 	}
-	for i, b := range latencyBounds {
-		if d <= b {
-			h.buckets[i]++
-			return
+	if stream != nil {
+		if stream.FirstResultNs > 0 {
+			if h.first == nil {
+				h.first = newDurHist()
+			}
+			h.first.observe(time.Duration(stream.FirstResultNs))
+		}
+		if stream.LimitHit {
+			h.limitHits++
 		}
 	}
-	h.buckets[len(latencyBounds)]++
 }
 
 func (h *latencyHist) snapshot() AlgorithmStats {
 	st := AlgorithmStats{
-		Count:   h.count,
-		Errors:  h.errs,
-		TotalMS: float64(h.sum) / float64(time.Millisecond),
-		MaxMS:   float64(h.max) / float64(time.Millisecond),
-	}
-	st.Buckets = make([]HistBucket, 0, len(h.buckets))
-	for i, c := range h.buckets {
-		le := -1.0
-		if i < len(latencyBounds) {
-			le = float64(latencyBounds[i]) / float64(time.Millisecond)
-		}
-		st.Buckets = append(st.Buckets, HistBucket{LEMS: le, Count: c})
+		Count:     h.count,
+		Errors:    h.errs,
+		TotalMS:   float64(h.sum) / float64(time.Millisecond),
+		MaxMS:     float64(h.max) / float64(time.Millisecond),
+		Buckets:   h.histBuckets(),
+		LimitHits: h.limitHits,
 	}
 	if h.jp != nil {
 		jp := *h.jp
 		st.JoinPhase = &jp
+	}
+	if h.first != nil {
+		st.FirstResult = &FirstResultStats{
+			Count:   h.first.count,
+			TotalMS: float64(h.first.sum) / float64(time.Millisecond),
+			MaxMS:   float64(h.first.max) / float64(time.Millisecond),
+			Buckets: h.first.histBuckets(),
+		}
 	}
 	return st
 }
@@ -117,9 +169,9 @@ func (r *algRecorder) histLocked(alg string) *latencyHist {
 	return h
 }
 
-func (r *algRecorder) observe(alg string, d time.Duration, jp *skewjoin.JoinPhaseStats) {
+func (r *algRecorder) observe(alg string, d time.Duration, jp *skewjoin.JoinPhaseStats, stream *skewjoin.StreamStats) {
 	r.mu.Lock()
-	r.histLocked(alg).observe(d, jp)
+	r.histLocked(alg).observe(d, jp, stream)
 	r.mu.Unlock()
 }
 

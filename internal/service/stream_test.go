@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// joinJSON posts a /join request (urlSuffix appends query parameters) and
+// decodes the response on 200.
+func joinJSON(t *testing.T, base, urlSuffix string, req JoinRequest) (int, JoinResponse, []byte) {
+	t.Helper()
+	status, raw := doJSON(t, "POST", base+"/join"+urlSuffix, req)
+	var resp JoinResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("decode join response: %v: %s", err, raw)
+		}
+	}
+	return status, resp, raw
+}
+
+// TestServiceStreamingLimit covers the /join limit surface end to end:
+// body and ?limit=N spellings, auto-selection of the streaming operator,
+// stream milestones in the response, and the first-result histogram plus
+// limit-hit counters in /stats.
+func TestServiceStreamingLimit(t *testing.T) {
+	srv := New(Config{ThreadBudget: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	register(t, ts.URL, "r", GenerateSpec{N: 30000, Zipf: 1.0, Seed: 42, Stream: 0})
+	register(t, ts.URL, "s", GenerateSpec{N: 30000, Zipf: 1.0, Seed: 42, Stream: 1})
+
+	// Pinned streaming operator with a body limit.
+	status, resp, raw := joinJSON(t, ts.URL, "", JoinRequest{R: "r", S: "s", Algorithm: "ssj", Limit: 100})
+	if status != http.StatusOK {
+		t.Fatalf("ssj+limit: status %d: %s", status, raw)
+	}
+	st := resp.Stream
+	if st == nil || !st.LimitHit || st.Staged < 100 || resp.Matches != st.Staged {
+		t.Fatalf("ssj+limit: stream info %+v (matches %d)", st, resp.Matches)
+	}
+	if st.FirstResultMS <= 0 || st.LimitMS < st.FirstResultMS || st.Chunks == 0 {
+		t.Fatalf("ssj+limit: malformed milestones %+v", st)
+	}
+
+	// The same limit through the query parameter, on a blocking operator:
+	// the limiter path reports milestones too (no chunk count).
+	status, resp, raw = joinJSON(t, ts.URL, "?limit=100", JoinRequest{R: "r", S: "s", Algorithm: "cbase"})
+	if status != http.StatusOK {
+		t.Fatalf("cbase?limit: status %d: %s", status, raw)
+	}
+	if resp.Stream == nil || !resp.Stream.LimitHit || resp.Stream.Staged < 100 {
+		t.Fatalf("cbase?limit: stream info %+v", resp.Stream)
+	}
+
+	// Auto with a small limit plans onto the streaming operator.
+	status, resp, raw = joinJSON(t, ts.URL, "?limit=50", JoinRequest{R: "r", S: "s"})
+	if status != http.StatusOK {
+		t.Fatalf("auto?limit: status %d: %s", status, raw)
+	}
+	if resp.Algorithm != "ssj" || resp.Planner == nil || !resp.Planner.Streaming {
+		t.Fatalf("auto?limit: algorithm %q, planner %+v — wanted streaming selection", resp.Algorithm, resp.Planner)
+	}
+
+	// An auto full scan stays on a blocking operator and carries no
+	// stream block.
+	status, resp, raw = joinJSON(t, ts.URL, "", JoinRequest{R: "r", S: "s"})
+	if status != http.StatusOK {
+		t.Fatalf("auto full: status %d: %s", status, raw)
+	}
+	if resp.Algorithm == "ssj" || resp.Stream != nil {
+		t.Fatalf("auto full scan streamed: algorithm %q, stream %+v", resp.Algorithm, resp.Stream)
+	}
+
+	// /stats separates first-result latency from whole-join latency and
+	// counts the limit hits.
+	stats := getStats(t, ts.URL)
+	ssjStats, ok := stats.Algorithms["ssj"]
+	if !ok {
+		t.Fatalf("no ssj algorithm stats: %+v", stats.Algorithms)
+	}
+	if ssjStats.FirstResult == nil || ssjStats.FirstResult.Count != 2 {
+		t.Fatalf("ssj first-result histogram: %+v", ssjStats.FirstResult)
+	}
+	if ssjStats.LimitHits != 2 {
+		t.Fatalf("ssj limit hits = %d, want 2", ssjStats.LimitHits)
+	}
+	var total uint64
+	for _, b := range ssjStats.FirstResult.Buckets {
+		total += b.Count
+	}
+	if total != ssjStats.FirstResult.Count {
+		t.Fatalf("first-result buckets sum %d != count %d", total, ssjStats.FirstResult.Count)
+	}
+	cb, ok := stats.Algorithms["cbase"]
+	if !ok || cb.FirstResult == nil || cb.FirstResult.Count != 1 || cb.LimitHits != 1 {
+		t.Fatalf("cbase stats: %+v", cb)
+	}
+}
+
+// TestServiceLimitValidation pins the 400s: modelled backends cannot
+// early-terminate and malformed limits are refused before execution.
+func TestServiceLimitValidation(t *testing.T) {
+	srv := New(Config{ThreadBudget: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	register(t, ts.URL, "r", GenerateSpec{N: 2000, Zipf: 0.5, Seed: 1, Stream: 0})
+	register(t, ts.URL, "s", GenerateSpec{N: 2000, Zipf: 0.5, Seed: 1, Stream: 1})
+
+	cases := []struct {
+		name   string
+		suffix string
+		req    JoinRequest
+	}{
+		{"pinned gpu", "", JoinRequest{R: "r", S: "s", Algorithm: "gbase", Limit: 10}},
+		{"pinned gsmj", "", JoinRequest{R: "r", S: "s", Algorithm: "gsmj", Limit: 10}},
+		{"split backend", "", JoinRequest{R: "r", S: "s", Backend: "split", Limit: 10}},
+		{"gpu backend via query", "?limit=10", JoinRequest{R: "r", S: "s", Backend: "gpu"}},
+		{"negative body limit", "", JoinRequest{R: "r", S: "s", Limit: -3}},
+		{"malformed query limit", "?limit=banana", JoinRequest{R: "r", S: "s"}},
+		{"negative query limit", "?limit=-1", JoinRequest{R: "r", S: "s"}},
+	}
+	for _, tc := range cases {
+		status, _, raw := joinJSON(t, ts.URL, tc.suffix, tc.req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, status, raw)
+		}
+	}
+
+	// A limit above the join output is not an error: the join completes
+	// with the full digest and no limit hit.
+	status, resp, raw := joinJSON(t, ts.URL, "?limit=999999999", JoinRequest{R: "r", S: "s", Algorithm: "ssj"})
+	if status != http.StatusOK {
+		t.Fatalf("huge limit: status %d: %s", status, raw)
+	}
+	if resp.Stream == nil || resp.Stream.LimitHit {
+		t.Fatalf("huge limit: stream %+v", resp.Stream)
+	}
+}

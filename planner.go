@@ -28,6 +28,16 @@ type Recommendation struct {
 	TopKeyEstimate int
 	// SampleSize is the number of R tuples inspected.
 	SampleSize int
+	// Streaming advises the streaming symmetric join (SSJ) instead of a
+	// blocking operator. Set only for limited requests
+	// (PlannerConfig.Limit > 0) that a stream can satisfy early: either
+	// the limit is small relative to the input, or the cached heavy
+	// hitters alone produce enough matches within the first chunks (the
+	// skew-aware tiebreak — a hot key's output is quadratic in its
+	// frequency, so it floods the limit almost immediately). Full scans
+	// stay on the blocking operators, which are ~equally fast end-to-end
+	// and cheaper per tuple.
+	Streaming bool
 	// Split, when the recommendation was produced by RecommendSplit,
 	// carries the per-radix-partition CPU/GPU placement decision for the
 	// co-processing backend; nil otherwise.
@@ -45,7 +55,17 @@ type PlannerConfig struct {
 	// dominate before skew handling pays off (default 4096, a
 	// shared-memory/cache-sized partition).
 	PartitionTuples int
+	// Limit is the request's result limit (0 = full scan). A non-zero
+	// limit makes the planner consider the streaming symmetric join —
+	// see Recommendation.Streaming.
+	Limit int
 }
+
+// streamFraction is the limit-to-input ratio below which a limited
+// request is planned on the streaming join: a limit under 1/8 of the
+// input is satisfied long before a blocking join's partition phase even
+// finishes. Above it the streaming rule falls back to the skew tiebreak.
+const streamFraction = 8
 
 func (c PlannerConfig) defaults() PlannerConfig {
 	if c.SampleRate <= 0 {
@@ -141,7 +161,36 @@ func RecommendFromStats(st RelationStats, cfg PlannerConfig) Recommendation {
 		rec.SkewDetected = true
 		rec.CPU, rec.GPU = CSH, GSH
 	}
+	rec.Streaming = planStreaming(cfg, st.Tuples, hotOutput(st))
 	return rec
+}
+
+// hotOutput estimates how many results the cached heavy hitters alone
+// contribute: a key with frequency f on one side matched against a
+// comparably hot other side yields ~f² pairs. TopKeys is the cached
+// heavy-hitter list; MaxKeyFreq stands in when it is absent.
+func hotOutput(st RelationStats) uint64 {
+	if len(st.TopKeys) == 0 {
+		return uint64(st.MaxKeyFreq) * uint64(st.MaxKeyFreq)
+	}
+	var out uint64
+	for _, kf := range st.TopKeys {
+		out += uint64(kf.Freq) * uint64(kf.Freq)
+	}
+	return out
+}
+
+// planStreaming applies the streaming rule: only limited requests
+// stream, and only when the limit is small relative to the input or the
+// hot keys alone satisfy it early (the skew-aware tiebreak).
+func planStreaming(cfg PlannerConfig, tuples int, hotOut uint64) bool {
+	if cfg.Limit <= 0 {
+		return false
+	}
+	if cfg.Limit <= tuples/streamFraction {
+		return true
+	}
+	return hotOut >= uint64(cfg.Limit)
 }
 
 // Recommend samples R and picks between the baseline and skew-conscious
@@ -169,6 +218,8 @@ func Recommend(r Relation, cfg PlannerConfig) Recommendation {
 		rec.SkewDetected = true
 		rec.CPU, rec.GPU = CSH, GSH
 	}
+	est := uint64(rec.TopKeyEstimate)
+	rec.Streaming = planStreaming(cfg, r.Len(), est*est)
 	return rec
 }
 

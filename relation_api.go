@@ -13,6 +13,9 @@ func NewRelation(keys []Key, payloads []Payload) Relation {
 // quantities the paper's skew analysis is framed in.
 type RelationStats = relation.Stats
 
+// KeyFreq is one heavy-hitter entry of RelationStats.TopKeys.
+type KeyFreq = relation.KeyFreq
+
 // Stats scans a relation and returns its key-distribution statistics.
 func Stats(r Relation) RelationStats { return relation.ComputeStats(r) }
 

@@ -51,6 +51,7 @@ import (
 	"skewjoin/internal/radix"
 	"skewjoin/internal/relation"
 	"skewjoin/internal/smj"
+	"skewjoin/internal/ssj"
 	"skewjoin/internal/zipf"
 )
 
@@ -146,7 +147,7 @@ func Algorithms() []Algorithm { return []Algorithm{Cbase, CbaseNPJ, CSH, Gbase, 
 
 // ExtendedAlgorithms lists every implementation, including the extensions
 // beyond the paper's evaluated set.
-func ExtendedAlgorithms() []Algorithm { return append(Algorithms(), SMJ, GSMJ) }
+func ExtendedAlgorithms() []Algorithm { return append(Algorithms(), SMJ, GSMJ, SSJ) }
 
 // IsGPU reports whether the algorithm runs on the simulated GPU (its times
 // are modelled rather than wall-clock).
@@ -178,6 +179,16 @@ type Options struct {
 	HostParallelism int
 	// OutBufCap overrides the per-worker output ring capacity.
 	OutBufCap int
+	// Limit stops the run once at least this many results have been
+	// staged for the consumer (0 = run to completion). The SSJ streaming
+	// operator observes it at chunk granularity; the blocking CPU
+	// algorithms (Cbase, CbaseNPJ, CSH, SMJ) observe it at their usual
+	// cancellation boundaries, so they overshoot far more — the gap the
+	// stream benchmark measures. A limit-terminated run returns
+	// successfully with Result.Stream.LimitHit set and a partial output
+	// digest of at least Limit results. The GPU algorithms and Split
+	// reject a limit (their output totals are modelled, not streamed).
+	Limit int
 	// Consumer optionally attaches a volcano-style upper operator: for
 	// each worker (CPU thread or simulated SM) the factory returns a
 	// callback that receives every full output-ring batch, plus the final
@@ -277,6 +288,11 @@ type Result struct {
 	// (Modelled stays false — the result's own Phases mix both clocks, as
 	// documented on SplitStats).
 	Split *SplitStats
+	// Stream reports incremental-delivery milestones: time to first
+	// result, time to limit, and whether Options.Limit terminated the
+	// run. Always set for SSJ; set for the blocking CPU algorithms when
+	// a limit was requested; nil otherwise.
+	Stream *StreamStats
 }
 
 // Summary is a verifiable output digest: cardinality plus checksum.
@@ -312,45 +328,61 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 			return Result{}, err
 		}
 	}
+	if opts.Limit > 0 && (alg.IsGPU() || alg == Split) {
+		return Result{}, fmt.Errorf("skewjoin: algorithm %q cannot early-terminate: limit requires a CPU operator (the GPU totals are modelled, not streamed)", alg)
+	}
+	limit := uint64(0)
+	if opts.Limit > 0 {
+		limit = uint64(opts.Limit)
+	}
 	switch alg {
 	case Cbase:
+		lim, runCtx, flush, cancel := newLimiter(limit, ctx, opts.Consumer)
+		defer cancel()
 		res := cbase.Join(r, s, cbase.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
-			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			OutBufCap: limitBufCap(opts.OutBufCap, limit), Flush: flush,
 			Scatter: opts.Scatter, Sched: opts.Sched,
-			Probe: opts.Probe, Layout: opts.Layout, Ctx: ctx,
+			Probe: opts.Probe, Layout: opts.Layout, Ctx: runCtx,
 		})
-		if res.Canceled {
-			return Result{}, ctx.Err()
+		if res.Canceled && !lim.hit() {
+			return Result{}, ctxErr(ctx)
 		}
 		out := wrap(alg, res.Summary, phases(res.Phases), false)
 		out.JoinPhase = joinPhaseStats(res.Stats.Join)
+		lim.annotate(&out)
 		return out, nil
 	case CbaseNPJ:
+		lim, runCtx, flush, cancel := newLimiter(limit, ctx, opts.Consumer)
+		defer cancel()
 		res := npj.Join(r, s, npj.Config{
 			Threads: opts.Threads, Probe: opts.Probe,
-			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
-			Ctx: ctx,
+			OutBufCap: limitBufCap(opts.OutBufCap, limit), Flush: flush,
+			Ctx: runCtx,
 		})
-		if res.Canceled {
-			return Result{}, ctx.Err()
+		if res.Canceled && !lim.hit() {
+			return Result{}, ctxErr(ctx)
 		}
 		out := wrap(alg, res.Summary, phases(res.Phases), false)
 		out.JoinPhase = &JoinPhaseStats{ProbeVisits: res.Stats.ProbeVisits}
+		lim.annotate(&out)
 		return out, nil
 	case CSH:
+		lim, runCtx, flush, cancel := newLimiter(limit, ctx, opts.Consumer)
+		defer cancel()
 		res := csh.Join(r, s, csh.Config{
 			Threads: opts.Threads, Bits1: opts.Bits1, Bits2: opts.Bits2,
 			SampleRate: opts.SampleRate, SkewThreshold: opts.SkewThreshold,
-			OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
+			OutBufCap: limitBufCap(opts.OutBufCap, limit), Flush: flush,
 			Scatter: opts.Scatter, Sched: opts.Sched,
-			Probe: opts.Probe, Layout: opts.Layout, Ctx: ctx,
+			Probe: opts.Probe, Layout: opts.Layout, Ctx: runCtx,
 		})
-		if res.Canceled {
-			return Result{}, ctx.Err()
+		if res.Canceled && !lim.hit() {
+			return Result{}, ctxErr(ctx)
 		}
 		out := wrap(alg, res.Summary, phases(res.Phases), false)
 		out.JoinPhase = joinPhaseStats(res.Stats.NM)
+		lim.annotate(&out)
 		return out, nil
 	case Gbase:
 		res := gbase.Join(r, s, gbase.Config{Device: opts.deviceConfig(), Flush: opts.Consumer})
@@ -368,14 +400,34 @@ func Join(alg Algorithm, r, s Relation, opts *Options) (Result, error) {
 		}
 		return wrap(alg, res.Summary, phases(res.Phases), true), nil
 	case SMJ:
+		lim, runCtx, flush, cancel := newLimiter(limit, ctx, opts.Consumer)
+		defer cancel()
 		res := smj.Join(r, s, smj.Config{
-			Threads: opts.Threads, OutBufCap: opts.OutBufCap, Flush: opts.Consumer,
-			Ctx: ctx,
+			Threads: opts.Threads, OutBufCap: limitBufCap(opts.OutBufCap, limit), Flush: flush,
+			Ctx: runCtx,
+		})
+		if res.Canceled && !lim.hit() {
+			return Result{}, ctxErr(ctx)
+		}
+		out := wrap(alg, res.Summary, phases(res.Phases), false)
+		lim.annotate(&out)
+		return out, nil
+	case SSJ:
+		res := ssj.Join(r, s, ssj.Config{
+			Threads: opts.Threads, Limit: limit,
+			OutBufCap: opts.OutBufCap, Flush: opts.Consumer, Ctx: ctx,
 		})
 		if res.Canceled {
 			return Result{}, ctx.Err()
 		}
-		return wrap(alg, res.Summary, phases(res.Phases), false), nil
+		out := wrap(alg, res.Summary, phases(res.Phases), false)
+		out.JoinPhase = &JoinPhaseStats{
+			Tasks:       res.Stats.Chunks,
+			MaxChain:    res.Stats.MaxChain,
+			ProbeVisits: res.Stats.ProbeVisits,
+		}
+		out.Stream = streamStats(res.Stats)
+		return out, nil
 	case Split:
 		return joinSplit(r, s, opts)
 	case GSMJ:

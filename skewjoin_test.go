@@ -36,11 +36,11 @@ func TestJoinAllAlgorithmsAgree(t *testing.T) {
 
 func TestExtendedAlgorithmsIncludeSMJ(t *testing.T) {
 	ext := ExtendedAlgorithms()
-	if len(ext) != len(Algorithms())+2 || ext[len(ext)-2] != SMJ || ext[len(ext)-1] != GSMJ {
+	if len(ext) != len(Algorithms())+3 || ext[len(ext)-3] != SMJ || ext[len(ext)-2] != GSMJ || ext[len(ext)-1] != SSJ {
 		t.Fatalf("ExtendedAlgorithms = %v", ext)
 	}
 	for _, a := range Algorithms() {
-		if a == SMJ || a == GSMJ {
+		if a == SMJ || a == GSMJ || a == SSJ {
 			t.Error("extensions must not be in the paper's algorithm set")
 		}
 	}

@@ -1,0 +1,231 @@
+package skewjoin
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestStreamGoldenMatchesBlocking pins the tentpole invariant: the
+// streaming symmetric join's complete (no-limit) output digest equals the
+// blocking baseline's on a sweep of skew levels.
+func TestStreamGoldenMatchesBlocking(t *testing.T) {
+	for _, theta := range []float64{0, 0.4, 0.9, 1.1} {
+		r, s, err := GenerateZipfPair(20000, theta, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocking, err := Join(Cbase, r, s, &Options{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streaming, err := Join(SSJ, r, s, &Options{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streaming.Summary() != blocking.Summary() {
+			t.Errorf("theta=%v: streaming %+v != blocking %+v", theta, streaming.Summary(), blocking.Summary())
+		}
+		if streaming.Summary() != Expected(r, s) {
+			t.Errorf("theta=%v: streaming digest does not match oracle", theta)
+		}
+		if streaming.Stream == nil || streaming.Stream.LimitHit {
+			t.Errorf("theta=%v: malformed stream stats: %+v", theta, streaming.Stream)
+		}
+		if streaming.Matches > 0 && streaming.Stream.FirstResultNs == 0 {
+			t.Errorf("theta=%v: missing first-result milestone", theta)
+		}
+	}
+}
+
+// TestStreamLimit checks SSJ early termination through the root API:
+// success (not error), LimitHit set, staged bounded, milestones ordered.
+func TestStreamLimit(t *testing.T) {
+	r, s, err := GenerateZipfPair(30000, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Expected(r, s)
+	for _, limit := range []int{1, 500, 10000} {
+		res, err := Join(SSJ, r, s, &Options{Threads: 2, Limit: limit})
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		st := res.Stream
+		if st == nil || !st.LimitHit {
+			t.Fatalf("limit=%d (output %d): stream stats %+v", limit, full.Matches, st)
+		}
+		if st.Staged < uint64(limit) || res.Matches != st.Staged {
+			t.Fatalf("limit=%d: staged %d, matches %d", limit, st.Staged, res.Matches)
+		}
+		if st.LimitNs == 0 || st.FirstResultNs == 0 || st.LimitNs < st.FirstResultNs {
+			t.Fatalf("limit=%d: milestones %+v", limit, st)
+		}
+	}
+}
+
+// TestBlockingLimit checks the limiter path layered onto the blocking
+// CPU algorithms: a limited run returns successfully with LimitHit and
+// at least Limit staged results.
+func TestBlockingLimit(t *testing.T) {
+	r, s, err := GenerateZipfPair(30000, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Cbase, CbaseNPJ, CSH, SMJ} {
+		res, err := Join(alg, r, s, &Options{Threads: 2, Limit: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		st := res.Stream
+		if st == nil || !st.LimitHit || st.Staged < 100 {
+			t.Fatalf("%s: stream stats %+v", alg, st)
+		}
+		if st.LimitNs == 0 || st.FirstResultNs == 0 {
+			t.Fatalf("%s: milestones missing: %+v", alg, st)
+		}
+	}
+	// Without a limit the blocking algorithms carry no stream stats.
+	res, err := Join(Cbase, r, s, &Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stream != nil {
+		t.Fatalf("no-limit blocking run carries stream stats: %+v", res.Stream)
+	}
+}
+
+// TestBlockingLimitAboveOutput checks a limit the join never reaches
+// runs to completion with the full digest and no LimitHit.
+func TestBlockingLimitAboveOutput(t *testing.T) {
+	r, s, err := GenerateZipfPair(5000, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Expected(r, s)
+	for _, alg := range []Algorithm{Cbase, SSJ} {
+		res, err := Join(alg, r, s, &Options{Threads: 2, Limit: int(want.Matches) * 10})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Summary() != want {
+			t.Fatalf("%s: summary %+v, want %+v", alg, res.Summary(), want)
+		}
+		if res.Stream == nil || res.Stream.LimitHit {
+			t.Fatalf("%s: stream stats %+v", alg, res.Stream)
+		}
+	}
+}
+
+// TestLimitRejectedOnGPU pins the validation: modelled backends cannot
+// early-terminate.
+func TestLimitRejectedOnGPU(t *testing.T) {
+	r, s, err := GenerateZipfPair(1000, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Gbase, GSH, GSMJ, Split} {
+		if _, err := Join(alg, r, s, &Options{Limit: 10}); err == nil {
+			t.Errorf("%s accepted a limit", alg)
+		}
+	}
+}
+
+// TestStreamLimitCancelDifferential is the streaming cancel test: a
+// victim run with a tiny limit must terminate far sooner than the same
+// join run to completion, and a bystander run sharing no context must be
+// unaffected. Run under -race in CI, it also exercises the limit-cancel
+// broadcast across workers.
+func TestStreamLimitCancelDifferential(t *testing.T) {
+	r, s, err := GenerateZipfPair(60000, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullStart := time.Now()
+	bystander, err := Join(SSJ, r, s, &Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(fullStart)
+
+	victimStart := time.Now()
+	victim, err := Join(SSJ, r, s, &Options{Threads: 4, Limit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimDur := time.Since(victimStart)
+
+	if bystander.Summary() != Expected(r, s) {
+		t.Fatal("bystander full run corrupted")
+	}
+	if !victim.Stream.LimitHit {
+		t.Fatalf("victim did not hit its limit: %+v", victim.Stream)
+	}
+	// Promptness: all workers observed the cancel within bounded extra
+	// work. The staged overshoot is at most one chunk's cross product
+	// per worker; far below the full output.
+	if victim.Stream.Staged >= bystander.Matches/2 {
+		t.Fatalf("victim staged %d of %d total results — cancellation not prompt", victim.Stream.Staged, bystander.Matches)
+	}
+	// The time bound is generous (CI noise) but still differential: the
+	// limited run must not pay anything close to the full makespan.
+	if fullDur > 50*time.Millisecond && victimDur > fullDur {
+		t.Fatalf("victim took %v, full run %v — early termination saved nothing", victimDur, fullDur)
+	}
+}
+
+// TestStreamUserCancelStillErrors pins that a caller cancellation (not a
+// limit) surfaces as an error even on the streaming operator.
+func TestStreamUserCancelStillErrors(t *testing.T) {
+	r, s, err := GenerateZipfPair(1000, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Join(SSJ, r, s, &Options{Context: ctx, Limit: 10}); err == nil {
+		t.Fatal("pre-cancelled streaming run returned no error")
+	}
+}
+
+// TestPlannerStreamingRule pins the auto-selection rule: full scans stay
+// blocking; small limits stream; large limits stream only when the
+// cached heavy hitters satisfy them early.
+func TestPlannerStreamingRule(t *testing.T) {
+	uniform := RelationStats{Tuples: 100000, DistinctKeys: 100000, MaxKeyFreq: 1}
+	skewed := RelationStats{
+		Tuples: 100000, DistinctKeys: 5000, MaxKeyFreq: 20000,
+		TopKeys: []KeyFreq{{Key: 7, Freq: 20000}, {Key: 9, Freq: 4000}},
+	}
+	cases := []struct {
+		name  string
+		st    RelationStats
+		limit int
+		want  bool
+	}{
+		{"full scan stays blocking", skewed, 0, false},
+		{"small limit streams", uniform, 100, true},
+		{"limit at 1/8 of input streams", uniform, 12500, true},
+		{"large limit on uniform stays blocking", uniform, 50000, false},
+		{"large limit on skew streams (hot keys satisfy it)", skewed, 50000, true},
+	}
+	for _, tc := range cases {
+		rec := RecommendFromStats(tc.st, PlannerConfig{Limit: tc.limit})
+		if rec.Streaming != tc.want {
+			t.Errorf("%s: Streaming = %v, want %v", tc.name, rec.Streaming, tc.want)
+		}
+	}
+
+	// Recommend (sampling path) applies the same rule from its top-key
+	// estimate.
+	r, _, err := GenerateZipfPair(50000, 1.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := Recommend(r, PlannerConfig{Limit: 100}); !rec.Streaming {
+		t.Error("Recommend: small limit did not stream")
+	}
+	if rec := Recommend(r, PlannerConfig{}); rec.Streaming {
+		t.Error("Recommend: full scan streamed")
+	}
+}
