@@ -72,17 +72,25 @@ bench-gpu:
 # The harness exits non-zero if the model policy measurably loses to the
 # better control in any cell. -shm 8 reproduces the paper's
 # skew-to-shared-memory pressure at this reduced scale (see README).
+# -threads 4 models a 4-core host (the executor's hybrid clock divides
+# CPU busy time by the worker count), putting the CPU within a small
+# multiple of the coupled GPU — the co-processing regime the paper
+# targets, and the one where the deep-skew cells must fragment the hot
+# partition to beat the single-backend controls.
 bench-coproc:
-	$(GO) run ./cmd/skewbench -exp coproc -n 131072 -repeats 3 -shm 8 -out BENCH_coproc.json
+	$(GO) run ./cmd/skewbench -exp coproc -n 131072 -threads 4 -repeats 3 -shm 8 -out BENCH_coproc.json
 
-# Tiny oracle-verified coproc run for CI: exercises every (zipf, policy,
-# hostpar) cell once, checks the regression bound, and asserts the JSON
-# artifact carries the measured and predicted makespans.
+# Tiny oracle-verified coproc run for CI: exercises a degenerate cell and
+# a must-fragment deep-skew cell once each under every (policy, hostpar),
+# checks the regression and fragment gates, and asserts the JSON artifact
+# carries the measured makespans and the fragment markers. -minwin 1
+# lowers the 25ms absolute win floor, meaningless at this tiny size.
 bench-coproc-smoke:
-	$(GO) run ./cmd/skewbench -exp coproc -n 8192 -repeats 1 -shm 8 -out /tmp/BENCH_coproc.json
+	$(GO) run ./cmd/skewbench -exp coproc -n 8192 -threads 4 -repeats 1 -shm 8 -minwin 1 -zipf 0,1.2 -out /tmp/BENCH_coproc.json
 	grep -q '"makespan_ns"' /tmp/BENCH_coproc.json
 	grep -q '"predicted_makespan_ns"' /tmp/BENCH_coproc.json
 	grep -q '"calibration"' /tmp/BENCH_coproc.json
+	grep -q '"fragmented": true' /tmp/BENCH_coproc.json
 
 # Sharded-tier sweep (zipf x routing policy on an in-process 3-shard
 # fleet with an A/A hash control); writes the machine-readable baseline

@@ -65,6 +65,7 @@ func main() {
 		repeats = flag.Int("repeats", 0, "timed runs per measured configuration, best kept (default 3)")
 		zipfStr = flag.String("zipf", "", "comma-separated zipf factors (default 0.0..1.0 step 0.1)")
 		shmKB   = flag.Int("shm", 0, "simulated GPU shared memory per block, KiB (default 64 = A100-like); shrink to match the paper's skew-to-capacity ratio at small table sizes")
+		minWin  = flag.Int64("minwin", 0, "split planner absolute win floor in ms for -exp coproc (default 0 = engine default 25ms); smoke runs at tiny -n lower it to ~1ms")
 		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 		plot    = flag.Bool("plot", false, "also render figure reports as log-scale ASCII charts")
 		outFile = flag.String("out", "", "also write the report as JSON to this file (e.g. BENCH_partition.json; single -exp runs only)")
@@ -74,6 +75,9 @@ func main() {
 	cfg := bench.Config{Tuples: *tuples, Threads: *threads, Seed: *seed, Repeats: *repeats}
 	if *shmKB > 0 {
 		cfg.Device.SharedMemBytes = *shmKB << 10
+	}
+	if *minWin > 0 {
+		cfg.SplitMinWinNs = *minWin * 1e6
 	}
 	if *zipfStr != "" {
 		zs, err := parseZipfs(*zipfStr)

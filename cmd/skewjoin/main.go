@@ -49,6 +49,7 @@ func main() {
 		backend = flag.String("backend", "", "execution backend: empty (run -alg as-is) or split (cost-model co-processing across CPU and simulated GPU; overrides -alg)")
 		device  = flag.String("device", "a100", "simulated GPU profile: a100 (discrete flagship) or coupled (integrated GPU a small multiple faster than the host)")
 		policy  = flag.String("policy", "", "split placement policy: model (default), static, cpu, or gpu (with -backend split)")
+		frags   = flag.Int("fragments", 0, "max pieces to cut a dominating hot partition into across both backends (with -backend split; 0 = default 8, negative disables fragmentation)")
 		hostpar = flag.Int("hostpar", 0, "host workers simulating GPU thread blocks (0 = serial; output is identical)")
 		verify  = flag.Bool("verify", true, "check the output against the oracle")
 		trace   = flag.Bool("gputrace", false, "print the simulator's per-kernel launch records (GPU algorithms)")
@@ -94,6 +95,7 @@ func main() {
 	case "":
 	case "split":
 		algorithm = skewjoin.Split
+		opts.Fragments = *frags
 		switch skewjoin.SplitPolicy(*policy) {
 		case "", skewjoin.SplitPolicyModel, skewjoin.SplitPolicyStatic,
 			skewjoin.SplitPolicyCPU, skewjoin.SplitPolicyGPU:
@@ -135,8 +137,16 @@ func main() {
 		if st.Plan.Split {
 			fmt.Printf("  co-processing: %d partitions on cpu, %d on gpu (imbalance %.2fx)\n",
 				len(st.Plan.CPUParts), len(st.Plan.GPUParts), st.Imbalance)
+			if st.Fragmented() {
+				fmt.Printf("  hot partition %d fragmented: build replicated, probe cut into %d cpu + %d gpu ranges\n",
+					st.Plan.FragmentedPart, st.CPUFragments, st.GPUFragments)
+			}
 		} else {
-			fmt.Printf("  co-processing: degenerated to %s-only\n", st.Plan.Degenerate)
+			reason := ""
+			if st.Plan.DegenerateReason != "" {
+				reason = " (" + st.Plan.DegenerateReason + ")"
+			}
+			fmt.Printf("  co-processing: degenerated to %s-only%s\n", st.Plan.Degenerate, reason)
 		}
 		fmt.Printf("  join sides: cpu busy %s, gpu modelled %s (predicted makespan %s, actual %s)\n",
 			bench.FormatDuration(time.Duration(st.CPUJoinNs)),

@@ -57,6 +57,11 @@ type Config struct {
 	// keeping the fastest time (default 3). Wall-clock noise on shared
 	// hosts otherwise dominates the CPU ratios.
 	Repeats int
+	// SplitMinWinNs lowers the split planner's absolute win floor for the
+	// co-processing benchmark (0 = the engine default, 25ms). Smoke runs
+	// at reduced table sizes set it to ~1ms so the planner still faces a
+	// real decision instead of degenerating on the floor alone.
+	SplitMinWinNs int64
 }
 
 // Defaults fills zero fields.

@@ -56,6 +56,14 @@ type CoprocCell struct {
 	PredErrPct          float64 `json:"pred_err_pct"`
 	// Imbalance is max(side)/min(side) when both backends ran.
 	Imbalance float64 `json:"imbalance,omitempty"`
+	// Fragmented reports the plan cut the hottest partition itself across
+	// both backends (build replicated, probe split into CPUFragments +
+	// GPUFragments sub-ranges). At zipf >= fragmentGateZipf the model
+	// policy is required to fragment and to beat the better single-backend
+	// control — the whole point of intra-partition fragment-and-replicate.
+	Fragmented   bool `json:"fragmented,omitempty"`
+	CPUFragments int  `json:"cpu_fragments,omitempty"`
+	GPUFragments int  `json:"gpu_fragments,omitempty"`
 }
 
 // CoprocReport is the full co-processing benchmark: the committed
@@ -75,13 +83,19 @@ type CoprocReport struct {
 }
 
 // coprocZipfs is the default skew sweep: uniform (where the plan must
-// degenerate), the paper's full-skew point, and slightly beyond it. The
-// sweep deliberately stops at 1.1: past that, a single hot radix
-// partition — the planner's atomic placement unit — exceeds any balanced
-// makespan on either backend by itself, so single-backend execution is
-// genuinely optimal and a split cannot win without fragmenting one
-// partition across backends (fragment-and-replicate, a ROADMAP item).
-var coprocZipfs = []float64{0.0, 1.0, 1.1}
+// degenerate), the paper's full-skew point, and the deep-skew tail. Past
+// zipf ~1.1 a single hot radix partition — formerly the planner's atomic
+// placement unit — exceeds the balanced makespan on either backend by
+// itself; the 1.2 and 1.4 points exist to exercise intra-partition
+// fragment-and-replicate, where the planner replicates the hot
+// partition's build side to both backends and splits its probe side, and
+// are gated strictly: the model policy must fragment AND beat the better
+// single-backend control there.
+var coprocZipfs = []float64{0.0, 1.0, 1.1, 1.2, 1.4}
+
+// fragmentGateZipf is the skew depth from which the strict fragment gate
+// applies to the model policy's cells.
+const fragmentGateZipf = 1.2
 
 // coprocHostpars: serial simulation and a small host pool.
 var coprocHostpars = []int{0, 4}
@@ -161,6 +175,7 @@ func CoprocBench(cfg Config) (*CoprocReport, error) {
 						Threads: threads, Device: device,
 						HostParallelism: hostpar,
 						SplitPolicy:     policy, Calibration: &cal,
+						SplitMinWinNs: cfg.SplitMinWinNs,
 					})
 					if err != nil {
 						return nil, err
@@ -202,6 +217,9 @@ func foldCoproc(c *CoprocCell, st *skewjoin.SplitStats, rep *CoprocReport) {
 		}
 		c.CPUParts = len(st.Plan.CPUParts)
 		c.GPUParts = len(st.Plan.GPUParts)
+		c.Fragmented = st.Fragmented()
+		c.CPUFragments = st.CPUFragments
+		c.GPUFragments = st.GPUFragments
 		c.GPUJoinNS = st.GPUJoinNs
 		c.GPUTransferNS = st.GPUTransferNs
 		c.PredictedMakespanNS = st.Plan.PredictedMakespanNs
@@ -223,7 +241,11 @@ func foldCoproc(c *CoprocCell, st *skewjoin.SplitStats, rep *CoprocReport) {
 }
 
 // checkCoprocGroup asserts the model policy never measurably loses to the
-// better pinned single-backend control of its (zipf, hostpar) group.
+// better pinned single-backend control of its (zipf, hostpar) group, and
+// — strictly, at deep skew — that the model fragments the hot partition
+// and measurably beats that control: at zipf >= fragmentGateZipf an
+// atomic (whole-partition) placement cannot win, so a model cell that
+// didn't fragment or didn't come out ahead is a regression, not noise.
 func checkCoprocGroup(group []CoprocCell, rep *CoprocReport) {
 	var model *CoprocCell
 	better := int64(math.MaxInt64)
@@ -250,6 +272,20 @@ func checkCoprocGroup(group []CoprocCell, rep *CoprocReport) {
 			(maxRegression-1)*100,
 			FormatDuration(time.Duration(better))))
 	}
+	if model.Zipf >= fragmentGateZipf {
+		if !model.Fragmented {
+			rep.Errors = append(rep.Errors, fmt.Sprintf(
+				"model policy hostpar=%d @ zipf %.2f: deep-skew cell did not fragment the hot partition",
+				model.HostParallelism, model.Zipf))
+		}
+		if model.MakespanNS >= better {
+			rep.Errors = append(rep.Errors, fmt.Sprintf(
+				"model policy hostpar=%d @ zipf %.2f: fragmented makespan %s does not beat better control %s",
+				model.HostParallelism, model.Zipf,
+				FormatDuration(time.Duration(model.MakespanNS)),
+				FormatDuration(time.Duration(better))))
+		}
+	}
 }
 
 // Fprint renders the report: one block per (zipf, hostpar) group, one
@@ -269,6 +305,9 @@ func (rep *CoprocReport) Fprint(w io.Writer) {
 					continue
 				}
 				shape := fmt.Sprintf("split %d/%d", c.CPUParts, c.GPUParts)
+				if c.Fragmented {
+					shape += fmt.Sprintf("+f%d/%d", c.CPUFragments, c.GPUFragments)
+				}
 				if !c.Split {
 					shape = "all-" + c.Degenerate
 				}

@@ -170,6 +170,16 @@ type Config struct {
 	MinWinNs float64
 	// WinFraction is the relative predicted-win floor (default 0.10).
 	WinFraction float64
+	// Fragments is the granularity the hot partition's probe side is cut
+	// into when the plan fragments it across both backends (default 8,
+	// minimum effective value 2). Negative disables fragmentation, making
+	// the radix partition the atomic placement unit again.
+	Fragments int
+	// FragmentFactor triggers fragmentation: the hot partition is
+	// fragmented only when its cheaper-backend solo time exceeds
+	// FragmentFactor times the balanced-makespan lower bound (default
+	// 1.2) — below that, whole-partition placement can still balance.
+	FragmentFactor float64
 }
 
 // Defaults fills zero fields.
@@ -190,6 +200,14 @@ func (c Config) Defaults() Config {
 	if c.WinFraction <= 0 {
 		c.WinFraction = 0.10
 	}
+	if c.Fragments == 0 {
+		c.Fragments = 8
+	} else if c.Fragments > 0 && c.Fragments < 2 {
+		c.Fragments = 2
+	}
+	if c.FragmentFactor <= 0 {
+		c.FragmentFactor = 1.2
+	}
 	return c
 }
 
@@ -202,6 +220,9 @@ type PartCost struct {
 	EstOut float64
 	// EstVisits is the estimated bucket entries visited probing it.
 	EstVisits float64
+	// TopChain is the extrapolated top-key frequency on the R side — the
+	// partition's longest expected chain, reused when pricing fragments.
+	TopChain float64
 	// CPUNs is the predicted single-worker CPU time.
 	CPUNs float64
 	// GPUBlockCycles holds the predicted cycles of each thread block the
@@ -235,6 +256,7 @@ func Costs(pr, ps *radix.Partitioned, cfg Config) []PartCost {
 		estOut, topR := estimatePartition(pr.Part(p), ps.Part(p), cfg.SampleTarget)
 		pc.EstOut = estOut
 		pc.EstVisits = estVisits(nR, nS, estOut)
+		pc.TopChain = topR
 		pc.CPUNs = cfg.Calib.BuildNsPerTuple*float64(nR) +
 			cfg.Calib.ProbeNsPerUnit*(float64(nS)+pc.EstVisits)
 		pc.GPUBlockCycles = gpuBlocks(cfg.Device, nR, nS, pc.EstVisits, estOut, topR)
@@ -356,6 +378,34 @@ func blockCycles(dev gpusim.Config, nR, nS, visits, matches, topChain float64) f
 	return cycles
 }
 
+// Degeneration reasons, reported by Plan.DegenerateReason when a plan
+// falls back to a single backend.
+const (
+	// ReasonHotPartitionDominates: the hot partition's cheaper-backend
+	// solo time is within the win threshold of the better single-backend
+	// time, so no whole-partition placement (and no fragmentation the
+	// model could price) can beat single-backend execution.
+	ReasonHotPartitionDominates = "hot-partition-dominates"
+	// ReasonMinWinThreshold: a balanced split exists on paper but its
+	// predicted win is below max(MinWinNs, WinFraction·better) — the
+	// orchestration overhead would eat it.
+	ReasonMinWinThreshold = "min-win-threshold"
+	// ReasonPolicyPinned: the policy (static round-robin with one
+	// partition, or a forced single backend), not the model, placed
+	// everything on one backend.
+	ReasonPolicyPinned = "policy-pinned"
+)
+
+// Fragment is one probe-side sub-range of a fragmented partition. The
+// partition's build side is replicated to both backends; each fragment
+// probes S[Lo:Hi) of the partition against the full replicated table, so
+// disjoint fragments emit disjoint slices of the partition's output.
+type Fragment struct {
+	Part    int // the fragmented partition's index
+	Lo, Hi  int // probe-side sub-range [Lo, Hi) within the partition
+	Backend Backend
+}
+
 // Plan is a per-partition placement with its predicted consequences. All
 // times are nanoseconds of the respective backend's clock: CPU times are
 // wall-style busy time per worker, GPU times are modelled device time —
@@ -363,8 +413,16 @@ func blockCycles(dev gpusim.Config, nR, nS, visits, matches, topChain float64) f
 // are directly comparable.
 type Plan struct {
 	// CPUParts and GPUParts list the assigned partition indices, each in
-	// ascending order. Every non-empty partition appears in exactly one.
+	// ascending order. Every non-empty partition appears in exactly one,
+	// except a fragmented partition (FragPart), which appears in neither:
+	// its placement is the per-range Fragments list instead.
 	CPUParts, GPUParts []int
+	// Fragments holds the probe-side sub-ranges of the fragmented
+	// partition, covering it exactly once. Empty when no partition was
+	// fragmented.
+	Fragments []Fragment
+	// FragPart is the fragmented partition's index, -1 when none.
+	FragPart int
 	// CPUNs is the predicted CPU-side time: assigned work over Threads.
 	CPUNs float64
 	// GPUNs is the predicted GPU-side modelled time: H2D transfer, the
@@ -377,31 +435,99 @@ type Plan struct {
 	MakespanNs float64
 	// CPUOnlyNs / GPUOnlyNs are the predicted single-backend controls.
 	CPUOnlyNs, GPUOnlyNs float64
+	// BalancedNs is the balanced-makespan lower bound (BalancedBound) —
+	// what a perfect fractional placement of all partitions would cost.
+	BalancedNs float64
 	// Split reports whether the plan actually uses both backends. When
-	// false, Degenerate names the single backend everything runs on.
-	Split      bool
-	Degenerate Backend
+	// false, Degenerate names the single backend everything runs on and
+	// DegenerateReason classifies why (Reason* constants).
+	Split            bool
+	Degenerate       Backend
+	DegenerateReason string
 }
+
+// Fragmented reports whether the plan splits one partition across both
+// backends.
+func (p *Plan) Fragmented() bool { return len(p.Fragments) > 0 }
 
 // BuildPlan assigns every costed partition to a backend. Heaviest partitions
 // (by their cheaper-backend cost) are placed first, each on the backend
-// that minimizes the resulting predicted makespan; afterwards the plan
+// that minimizes the resulting predicted makespan. When the hot partition
+// alone exceeds the balanced-makespan bound by FragmentFactor, a
+// fragmented plan — the hot partition's build side replicated to both
+// backends, its probe side split cost-proportionally — is priced too and
+// adopted if it predicts a strictly lower makespan. Afterwards the plan
 // degenerates to the better single backend if the predicted win is below
-// the configured thresholds.
+// the configured thresholds, recording why.
 func BuildPlan(costs []PartCost, cfg Config) Plan {
 	cfg = cfg.Defaults()
-	order := make([]int, len(costs))
-	for i := range order {
-		order[i] = i
+	cpu := &cpuBin{threads: float64(cfg.Threads)}
+	gpu := newGPUBin(cfg.Device)
+	onCPU, onGPU := placeParts(costs, cfg, -1, cpu, gpu)
+
+	plan := Plan{
+		CPUParts: onCPU, GPUParts: onGPU, FragPart: -1,
+		CPUNs: cpu.time(), GPUNs: gpu.time(), TransferNs: gpu.transferNs(),
+	}
+	plan.MakespanNs = math.Max(plan.CPUNs, plan.GPUNs)
+	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
+	plan.BalancedNs = BalancedBound(costs, cfg)
+
+	if frag, ok := fragmentPlan(costs, cfg, plan.BalancedNs); ok && frag.MakespanNs < plan.MakespanNs {
+		frag.CPUOnlyNs, frag.GPUOnlyNs = plan.CPUOnlyNs, plan.GPUOnlyNs
+		frag.BalancedNs = plan.BalancedNs
+		plan = frag
+	}
+
+	usesCPU := len(plan.CPUParts) > 0
+	usesGPU := len(plan.GPUParts) > 0
+	for _, f := range plan.Fragments {
+		if f.Backend == CPU {
+			usesCPU = true
+		} else {
+			usesGPU = true
+		}
+	}
+	better := math.Min(plan.CPUOnlyNs, plan.GPUOnlyNs)
+	win := better - plan.MakespanNs
+	threshold := math.Max(cfg.MinWinNs, cfg.WinFraction*better)
+	if !usesCPU || !usesGPU || win < threshold {
+		// Classify the fallback. The hot partition is the structural
+		// blocker when the plan could not fragment it (disabled, too
+		// small to cut, or fragmentation lost to the atomic plan), it
+		// exceeds the fragmentation trigger, and its solo floor leaves
+		// less than the required win over the better single backend.
+		// Otherwise the win merely fell under the floor.
+		reason := ReasonMinWinThreshold
+		_, hotNs := hotAtomic(costs, cfg)
+		if !plan.Fragmented() && hotNs > cfg.FragmentFactor*plan.BalancedNs &&
+			hotNs >= better-threshold {
+			reason = ReasonHotPartitionDominates
+		}
+		p := degenerate(costs, cfg, plan)
+		p.DegenerateReason = reason
+		return p
+	}
+	plan.Split = true
+	return plan
+}
+
+// placeParts greedily places every costed partition except skip (an index
+// into costs, -1 for none) heaviest-first onto whichever bin yields the
+// lower combined makespan, mutating the bins and returning the sorted
+// placement lists. Bins may arrive pre-seeded (fragmentPlan seeds them
+// with the hot partition's fragments before placing the tail).
+func placeParts(costs []PartCost, cfg Config, skip int, cpu *cpuBin, gpu *gpuBin) (onCPU, onGPU []int) {
+	order := make([]int, 0, len(costs))
+	for i := range costs {
+		if i != skip {
+			order = append(order, i)
+		}
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ca, cb := &costs[order[a]], &costs[order[b]]
 		return math.Max(ca.CPUNs, gpuNsOf(cfg.Device, ca)) > math.Max(cb.CPUNs, gpuNsOf(cfg.Device, cb))
 	})
-
-	cpu := &cpuBin{threads: float64(cfg.Threads)}
-	gpu := newGPUBin(cfg.Device)
-	var onCPU, onGPU []int
 	for _, i := range order {
 		pc := &costs[i]
 		withCPU := math.Max(cpu.timeWith(pc), gpu.time())
@@ -416,22 +542,184 @@ func BuildPlan(costs []PartCost, cfg Config) Plan {
 	}
 	sort.Ints(onCPU)
 	sort.Ints(onGPU)
+	return onCPU, onGPU
+}
 
-	plan := Plan{
-		CPUParts: onCPU, GPUParts: onGPU,
-		CPUNs: cpu.time(), GPUNs: gpu.time(), TransferNs: gpu.transferNs(),
+// BalancedBound returns the fractional balanced-makespan lower bound: the
+// smallest deadline T for which a fractional placement of every partition
+// (each arbitrarily divisible between the backends) finishes both sides
+// by T. Whole-partition placement can never beat it, so a hot partition
+// whose solo time exceeds this bound by FragmentFactor provably dominates
+// any atomic plan's makespan — the fragmentation trigger. Computed by
+// binary search on T with a greedy fractional feasibility check (CPU
+// budget spent on the partitions with the highest GPU-relief per CPU-ns
+// first — the fractional-knapsack optimum).
+func BalancedBound(costs []PartCost, cfg Config) float64 {
+	cfg = cfg.Defaults()
+	if len(costs) == 0 {
+		return 0
 	}
-	plan.MakespanNs = math.Max(plan.CPUNs, plan.GPUNs)
-	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
+	c := make([]float64, len(costs))
+	g := make([]float64, len(costs))
+	var sumC, sumG float64
+	for i := range costs {
+		c[i] = costs[i].CPUNs / float64(cfg.Threads)
+		// Idealized perfectly-parallel GPU time: cycles spread over all
+		// SMs plus the partition's transfer share. A lower bound on the
+		// real block schedule, as a bound must be.
+		g[i] = cyclesToNs(cfg.Device, costs[i].GPUCycles/float64(cfg.Device.NumSMs)) +
+			transferNs(cfg.Device, costs[i].Bytes, costs[i].EstOut)
+		sumC += c[i]
+		sumG += g[i]
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return g[order[a]]*c[order[b]] > g[order[b]]*c[order[a]]
+	})
+	feasible := func(T float64) bool {
+		cpuLeft, gpuLoad := T, 0.0
+		for _, i := range order {
+			switch {
+			case cpuLeft <= 0:
+				gpuLoad += g[i]
+			case c[i] <= cpuLeft:
+				cpuLeft -= c[i]
+			default:
+				gpuLoad += g[i] * (1 - cpuLeft/c[i])
+				cpuLeft = 0
+			}
+		}
+		return gpuLoad <= T
+	}
+	lo, hi := 0.0, math.Min(sumC, sumG)
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
 
-	better := math.Min(plan.CPUOnlyNs, plan.GPUOnlyNs)
-	win := better - plan.MakespanNs
-	threshold := math.Max(cfg.MinWinNs, cfg.WinFraction*better)
-	if len(onCPU) == 0 || len(onGPU) == 0 || win < threshold {
-		return degenerate(costs, cfg, plan)
+// hotAtomic returns the index (into costs) and cheaper-backend solo time
+// of the partition that is most expensive even on its better backend —
+// the floor any atomic placement's makespan inherits from it.
+func hotAtomic(costs []PartCost, cfg Config) (idx int, ns float64) {
+	idx = -1
+	for i := range costs {
+		solo := math.Min(costs[i].CPUNs/float64(cfg.Threads), soloGPUNs(cfg.Device, &costs[i]))
+		if solo > ns {
+			idx, ns = i, solo
+		}
 	}
-	plan.Split = true
-	return plan
+	return idx, ns
+}
+
+// soloGPUNs is the partition's predicted modelled time running alone on
+// the GPU (block schedule, launch overhead and transfers included).
+func soloGPUNs(dev gpusim.Config, pc *PartCost) float64 {
+	b := newGPUBin(dev)
+	b.add(pc)
+	return b.time()
+}
+
+// fragmentPlan prices a plan that fragments the hot partition across both
+// backends: its build side replicated to both, its probe side cut into
+// cfg.Fragments equal ranges of which the first k go to the CPU and the
+// contiguous rest to the GPU. Every k is tried with the tail partitions
+// re-placed greedily around the seeded fragments, and the best balance is
+// returned. ok is false when fragmentation is disabled, the hot partition
+// does not exceed the balanced bound by FragmentFactor, or no cut exists.
+func fragmentPlan(costs []PartCost, cfg Config, balanced float64) (Plan, bool) {
+	if cfg.Fragments < 2 || len(costs) == 0 {
+		return Plan{}, false
+	}
+	hotIdx, hotNs := hotAtomic(costs, cfg)
+	if hotIdx < 0 || hotNs <= cfg.FragmentFactor*balanced {
+		return Plan{}, false
+	}
+	hot := &costs[hotIdx]
+	f := cfg.Fragments
+	if f > hot.NS {
+		f = hot.NS
+	}
+	if f < 2 {
+		return Plan{}, false
+	}
+
+	best := Plan{FragPart: -1, MakespanNs: math.Inf(1)}
+	found := false
+	for k := 1; k < f; k++ {
+		cut := hot.NS * k / f
+		if cut == 0 || cut == hot.NS {
+			continue
+		}
+		cpu := &cpuBin{threads: float64(cfg.Threads)}
+		gpu := newGPUBin(cfg.Device)
+		// Seed the bins with the hot partition's two sides — the heaviest
+		// placement decision — then place the tail greedily around them.
+		// Each side pays the full build replication: the CPU fragment's
+		// CPUNs charges BuildNsPerTuple for every R tuple, and the GPU
+		// fragment decomposes the full R side into sub-lists that each
+		// reread only its probe share.
+		cpu.add(fragCost(hot, cfg, 0, cut))
+		gpu.add(fragCost(hot, cfg, cut, hot.NS))
+		onCPU, onGPU := placeParts(costs, cfg, hotIdx, cpu, gpu)
+		plan := Plan{
+			CPUParts: onCPU, GPUParts: onGPU, FragPart: hot.Part,
+			CPUNs: cpu.time(), GPUNs: gpu.time(), TransferNs: gpu.transferNs(),
+		}
+		plan.MakespanNs = math.Max(plan.CPUNs, plan.GPUNs)
+		if plan.MakespanNs < best.MakespanNs {
+			for i := 0; i < k; i++ {
+				if lo, hi := hot.NS*i/f, hot.NS*(i+1)/f; lo < hi {
+					plan.Fragments = append(plan.Fragments,
+						Fragment{Part: hot.Part, Lo: lo, Hi: hi, Backend: CPU})
+				}
+			}
+			for i := k; i < f; i++ {
+				if lo, hi := hot.NS*i/f, hot.NS*(i+1)/f; lo < hi {
+					plan.Fragments = append(plan.Fragments,
+						Fragment{Part: hot.Part, Lo: lo, Hi: hi, Backend: GPU})
+				}
+			}
+			best = plan
+			found = true
+		}
+	}
+	return best, found
+}
+
+// fragCost prices one probe-side fragment S[lo:hi) of the hot partition
+// as a synthetic PartCost: the full R side (the build-replication
+// penalty), the probe quantities scaled by the fragment's share of S, and
+// the partition's top chain kept whole — the hot key's chain is fully
+// present in the replicated table no matter how S is cut.
+func fragCost(hot *PartCost, cfg Config, lo, hi int) *PartCost {
+	ns := hi - lo
+	frac := float64(ns) / float64(hot.NS)
+	visits := hot.EstVisits * frac
+	if visits < float64(ns) {
+		visits = float64(ns)
+	}
+	estOut := hot.EstOut * frac
+	pc := &PartCost{
+		Part: hot.Part, NR: hot.NR, NS: ns,
+		EstOut: estOut, EstVisits: visits, TopChain: hot.TopChain,
+		Bytes: (hot.NR + ns) * relation.TupleSize,
+	}
+	pc.CPUNs = cfg.Calib.BuildNsPerTuple*float64(hot.NR) +
+		cfg.Calib.ProbeNsPerUnit*(float64(ns)+visits)
+	pc.GPUBlockCycles = gpuBlocks(cfg.Device, hot.NR, ns, visits, estOut, hot.TopChain)
+	for _, c := range pc.GPUBlockCycles {
+		pc.GPUCycles += c
+	}
+	return pc
 }
 
 // SinglePredictions returns the predicted times of running every costed
@@ -478,14 +766,17 @@ func StaticPlan(costs []PartCost, cfg Config) Plan {
 		}
 	}
 	plan := Plan{
-		CPUParts: onCPU, GPUParts: onGPU,
+		CPUParts: onCPU, GPUParts: onGPU, FragPart: -1,
 		CPUNs: cpu.time(), GPUNs: gpu.time(), TransferNs: gpu.transferNs(),
 	}
 	plan.MakespanNs = math.Max(plan.CPUNs, plan.GPUNs)
 	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
 	plan.Split = len(onCPU) > 0 && len(onGPU) > 0
-	if !plan.Split && len(onGPU) > 0 {
-		plan.Degenerate = GPU
+	if !plan.Split {
+		plan.DegenerateReason = ReasonPolicyPinned
+		if len(onGPU) > 0 {
+			plan.Degenerate = GPU
+		}
 	}
 	return plan
 }
@@ -497,7 +788,9 @@ func ForcePlan(costs []PartCost, cfg Config, b Backend) Plan {
 	cfg = cfg.Defaults()
 	var plan Plan
 	plan.CPUOnlyNs, plan.GPUOnlyNs = SinglePredictions(costs, cfg)
-	return singleBackend(costs, cfg, plan, b)
+	plan = singleBackend(costs, cfg, plan, b)
+	plan.DegenerateReason = ReasonPolicyPinned
+	return plan
 }
 
 // singleBackend rewrites plan so every partition runs on b.
@@ -509,6 +802,7 @@ func singleBackend(costs []PartCost, cfg Config, plan Plan, b Backend) Plan {
 	sort.Ints(all)
 	plan.Split = false
 	plan.Degenerate = b
+	plan.Fragments, plan.FragPart = nil, -1
 	if b == GPU {
 		plan.CPUParts, plan.GPUParts = nil, all
 		plan.CPUNs, plan.GPUNs = 0, plan.GPUOnlyNs

@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"skewjoin/internal/gpupart"
@@ -172,9 +173,13 @@ func TestBuildPlanSplitsSkewedWorkload(t *testing.T) {
 	if len(plan.CPUParts) == 0 || len(plan.GPUParts) == 0 {
 		t.Fatalf("split plan must use both backends: %+v", plan)
 	}
-	if len(plan.CPUParts)+len(plan.GPUParts) != len(costs) {
-		t.Fatalf("plan covers %d+%d of %d partitions",
-			len(plan.CPUParts), len(plan.GPUParts), len(costs))
+	placed := len(plan.CPUParts) + len(plan.GPUParts)
+	if plan.Fragmented() {
+		placed++ // the fragmented partition appears in neither list
+	}
+	if placed != len(costs) {
+		t.Fatalf("plan covers %d of %d partitions (frag=%v)",
+			placed, len(costs), plan.Fragmented())
 	}
 	// The makespan must beat both single-backend controls by the
 	// configured margin.
@@ -183,12 +188,17 @@ func TestBuildPlanSplitsSkewedWorkload(t *testing.T) {
 		t.Fatalf("split makespan %g not better than controls cpu=%g gpu=%g",
 			plan.MakespanNs, plan.CPUOnlyNs, plan.GPUOnlyNs)
 	}
-	// The hot partition and the tail must land on different backends:
-	// the greedy places the dominant partition first and isolates it on
-	// the minority side while the tail fills the other. (On the coupled
-	// device the hot partition lands on the CPU — the Gbase-style kernel
-	// decomposes an oversized R partition into sub-lists that each reread
-	// the full S side, so GPU cost explodes exactly where the skew is.)
+	// The hot partition must be handled specially: either fragmented
+	// across both backends (FragPart names it, with fragments on both
+	// sides covering its S range exactly once), or isolated whole on the
+	// minority side while the tail fills the other.
+	if plan.Fragmented() {
+		if plan.FragPart != hot {
+			t.Errorf("fragmented partition %d, want hot partition %d", plan.FragPart, hot)
+		}
+		assertFragmentsCover(t, plan, costs)
+		return
+	}
 	hotSide, otherSide := plan.CPUParts, plan.GPUParts
 	if !contains(plan.CPUParts, hot) {
 		hotSide, otherSide = plan.GPUParts, plan.CPUParts
@@ -196,6 +206,182 @@ func TestBuildPlanSplitsSkewedWorkload(t *testing.T) {
 	if len(hotSide) >= len(otherSide) {
 		t.Errorf("hot partition %d not isolated: its backend holds %d partitions vs %d",
 			hot, len(hotSide), len(otherSide))
+	}
+}
+
+// assertFragmentsCover checks the plan's fragments tile the fragmented
+// partition's probe side exactly once with both backends represented.
+func assertFragmentsCover(t *testing.T, plan Plan, costs []PartCost) {
+	t.Helper()
+	var hot *PartCost
+	for i := range costs {
+		if costs[i].Part == plan.FragPart {
+			hot = &costs[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("fragmented partition %d not among costed partitions", plan.FragPart)
+	}
+	if contains(plan.CPUParts, plan.FragPart) || contains(plan.GPUParts, plan.FragPart) {
+		t.Errorf("fragmented partition %d also placed whole", plan.FragPart)
+	}
+	frags := append([]Fragment(nil), plan.Fragments...)
+	sort.Slice(frags, func(a, b int) bool { return frags[a].Lo < frags[b].Lo })
+	next, cpuN, gpuN := 0, 0, 0
+	for _, f := range frags {
+		if f.Part != plan.FragPart {
+			t.Fatalf("fragment of partition %d, want %d", f.Part, plan.FragPart)
+		}
+		if f.Lo != next || f.Hi <= f.Lo {
+			t.Fatalf("fragments do not tile S: got [%d,%d) at offset %d", f.Lo, f.Hi, next)
+		}
+		next = f.Hi
+		if f.Backend == CPU {
+			cpuN++
+		} else {
+			gpuN++
+		}
+	}
+	if next != hot.NS {
+		t.Errorf("fragments cover S[0:%d), partition has %d probe tuples", next, hot.NS)
+	}
+	if cpuN == 0 || gpuN == 0 {
+		t.Errorf("fragments must use both backends: cpu=%d gpu=%d", cpuN, gpuN)
+	}
+}
+
+// fragmentTrigger recomputes the fragmentation predicate BuildPlan uses:
+// the hot partition's cheaper-backend solo time exceeds the
+// balanced-makespan bound by FragmentFactor.
+func fragmentTrigger(costs []PartCost, cfg Config) bool {
+	cfg = cfg.Defaults()
+	_, hotNs := hotAtomic(costs, cfg)
+	return hotNs > cfg.FragmentFactor*BalancedBound(costs, cfg)
+}
+
+// TestFragmentPlanGoldenDeepSkew pins the zipf 1.2–1.4 regime: the hot
+// partition dominates any atomic placement, so the plan must fragment it
+// across both backends and beat both single-backend controls — the regime
+// the whole-partition planner provably cannot win.
+func TestFragmentPlanGoldenDeepSkew(t *testing.T) {
+	for _, theta := range []float64{1.2, 1.3, 1.4} {
+		r, s := zipfPair(t, 1<<18, theta)
+		rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+		pr := radix.Partition(r.Tuples, rcfg, nil)
+		ps := radix.Partition(s.Tuples, rcfg, nil)
+		cfg := Config{Device: gpusim.Coupled(), Calib: DefaultCalibration(), Threads: 1}
+		costs := Costs(pr, ps, cfg)
+		if !fragmentTrigger(costs, cfg) {
+			t.Fatalf("zipf %.1f: hot partition does not exceed the balanced bound", theta)
+		}
+		plan := BuildPlan(costs, cfg)
+		if !plan.Split || !plan.Fragmented() {
+			t.Fatalf("zipf %.1f: want fragmented split, got split=%v frag=%v reason=%q",
+				theta, plan.Split, plan.Fragmented(), plan.DegenerateReason)
+		}
+		assertFragmentsCover(t, plan, costs)
+		better := math.Min(plan.CPUOnlyNs, plan.GPUOnlyNs)
+		if plan.MakespanNs >= better {
+			t.Errorf("zipf %.1f: fragmented makespan %g not better than controls cpu=%g gpu=%g",
+				theta, plan.MakespanNs, plan.CPUOnlyNs, plan.GPUOnlyNs)
+		}
+		if plan.MakespanNs < plan.BalancedNs {
+			t.Errorf("zipf %.1f: makespan %g below the balanced lower bound %g",
+				theta, plan.MakespanNs, plan.BalancedNs)
+		}
+	}
+}
+
+// TestFragmentChosenIffTriggered sweeps skew and checks both directions
+// of the gate: a fragmented plan implies the hot partition exceeded the
+// balanced bound, and a quiet trigger implies no fragmentation.
+func TestFragmentChosenIffTriggered(t *testing.T) {
+	for _, theta := range []float64{0.0, 0.5, 0.8, 1.0, 1.1, 1.2, 1.4} {
+		r, s := zipfPair(t, 1<<17, theta)
+		rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+		pr := radix.Partition(r.Tuples, rcfg, nil)
+		ps := radix.Partition(s.Tuples, rcfg, nil)
+		cfg := Config{Device: gpusim.Coupled(), Calib: DefaultCalibration(), Threads: 1}
+		costs := Costs(pr, ps, cfg)
+		plan := BuildPlan(costs, cfg)
+		if plan.Fragmented() && !fragmentTrigger(costs, cfg) {
+			t.Errorf("zipf %.1f: fragmented without the hot partition exceeding the bound", theta)
+		}
+		if !fragmentTrigger(costs, cfg) && plan.Fragmented() {
+			t.Errorf("zipf %.1f: fragment plan chosen below the trigger", theta)
+		}
+	}
+}
+
+// TestUniformNeverFragments is the A/A control: without skew no partition
+// can exceed the balanced bound by the fragment factor, so the plan must
+// never pay replication.
+func TestUniformNeverFragments(t *testing.T) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 18} {
+		r, s := zipfPair(t, n, 0)
+		rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+		pr := radix.Partition(r.Tuples, rcfg, nil)
+		ps := radix.Partition(s.Tuples, rcfg, nil)
+		cfg := Config{Device: gpusim.Coupled(), Calib: DefaultCalibration(), Threads: 1}
+		costs := Costs(pr, ps, cfg)
+		plan := BuildPlan(costs, cfg)
+		if plan.Fragmented() {
+			t.Errorf("n=%d uniform input fragmented: %+v", n, plan.Fragments)
+		}
+	}
+}
+
+// TestFragmentsDisabled pins the off switch at a size where the win
+// thresholds bite: with Fragments < 0 the partition stays the atomic
+// unit, deep skew degenerates, and the reason names the hot partition as
+// the blocker — while the same costs with fragmentation enabled yield a
+// winning fragmented split.
+func TestFragmentsDisabled(t *testing.T) {
+	r, s := zipfPair(t, 1<<14, 1.4)
+	rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	cfg := Config{Device: gpusim.Coupled(), Calib: DefaultCalibration(), Threads: 1, Fragments: -1}
+	costs := Costs(pr, ps, cfg)
+	plan := BuildPlan(costs, cfg)
+	if plan.Fragmented() {
+		t.Fatalf("Fragments=-1 still fragmented: %+v", plan.Fragments)
+	}
+	if plan.Split {
+		t.Fatalf("deep skew without fragmentation should degenerate here: %+v", plan)
+	}
+	if plan.DegenerateReason != ReasonHotPartitionDominates {
+		t.Errorf("degenerate reason %q, want %q", plan.DegenerateReason, ReasonHotPartitionDominates)
+	}
+
+	cfg.Fragments = 0 // default granularity
+	frag := BuildPlan(costs, cfg)
+	if !frag.Split || !frag.Fragmented() {
+		t.Fatalf("fragmentation should rescue this regime: split=%v frag=%v reason=%q",
+			frag.Split, frag.Fragmented(), frag.DegenerateReason)
+	}
+	if frag.MakespanNs >= plan.MakespanNs {
+		t.Errorf("fragmented makespan %g not better than degenerate %g",
+			frag.MakespanNs, plan.MakespanNs)
+	}
+}
+
+// TestDegenerateReasonMinWin pins the other reason: a uniform tiny input
+// degenerates because the win is under the floor, not because any
+// partition dominates.
+func TestDegenerateReasonMinWin(t *testing.T) {
+	r, s := zipfPair(t, 1<<12, 0)
+	rcfg := radix.Config{Threads: 1, Bits1: 6, Bits2: 0}
+	pr := radix.Partition(r.Tuples, rcfg, nil)
+	ps := radix.Partition(s.Tuples, rcfg, nil)
+	cfg := Config{Device: gpusim.Coupled(), Calib: DefaultCalibration(), Threads: 1}
+	costs := Costs(pr, ps, cfg)
+	plan := BuildPlan(costs, cfg)
+	if plan.Split {
+		t.Fatalf("tiny uniform input should degenerate: %+v", plan)
+	}
+	if plan.DegenerateReason != ReasonMinWinThreshold {
+		t.Errorf("degenerate reason %q, want %q", plan.DegenerateReason, ReasonMinWinThreshold)
 	}
 }
 

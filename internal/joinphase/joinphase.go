@@ -59,11 +59,24 @@ type Config struct {
 	// A cancelled run reports Stats.Canceled and its output is partial.
 	Ctx context.Context
 	// Parts optionally restricts the phase to the listed partition
-	// indices (nil = every partition). The co-processing executor uses it
-	// to join only the CPU-assigned partitions while the rest run on the
-	// simulated GPU. Indices must be valid and duplicate-free; empty
-	// partitions in the list are skipped as usual.
+	// indices (nil = every partition, unless Ranges is set). The
+	// co-processing executor uses it to join only the CPU-assigned
+	// partitions while the rest run on the simulated GPU. Indices must be
+	// valid and duplicate-free; empty partitions in the list are skipped
+	// as usual.
 	Parts []int
+	// Ranges optionally adds probe-restricted tasks: each entry joins the
+	// full R partition against only S[Lo:Hi) of that partition. The
+	// co-processing executor uses it for a fragmented hot partition — the
+	// build side is replicated here while the rest of the probe side runs
+	// on the simulated GPU. Ranges must not overlap Parts entries. When
+	// Ranges is set and Parts is nil, only the listed ranges run.
+	Ranges []ProbeRange
+}
+
+// ProbeRange restricts one partition's join to the probe tuples [Lo, Hi).
+type ProbeRange struct {
+	Part, Lo, Hi int
 }
 
 // taskQueue abstracts the two queue variants; the per-task dispatch cost is
@@ -88,9 +101,10 @@ type Stats struct {
 }
 
 type task struct {
-	part  int                    // partition index; -1 for a probe sub-task
-	table chainedtable.HashTable // pre-built R table for probe sub-tasks
-	sPart []relation.Tuple       // S tuples to probe for probe sub-tasks
+	part   int                    // partition index; -1 for a probe sub-task
+	lo, hi int                    // probe-range restriction when hi > lo
+	table  chainedtable.HashTable // pre-built R table for probe sub-tasks
+	sPart  []relation.Tuple       // S tuples to probe for probe sub-tasks
 }
 
 // worker holds one thread's output buffer, build arena, emit state and
@@ -188,6 +202,12 @@ func (r *runner) doTask(w *worker, t task) {
 			w.maxChain = mc
 		}
 		sPart := r.ps.Part(t.part)
+		if t.hi > t.lo {
+			// Probe-range task: the replicated build probes only its
+			// fragment of S. The oversized-split below still applies, so a
+			// large fragment fans out into sub-tasks sharing one table.
+			sPart = sPart[t.lo:t.hi]
+		}
 		if r.splitThreshold > 0 && len(sPart) > r.splitThreshold {
 			w.splits++
 			// The table escapes to whichever workers drain the sub-tasks;
@@ -242,18 +262,24 @@ func Run(pr, ps *radix.Partitioned, cfg Config, bufs []*outbuf.Buffer) Stats {
 	}
 
 	parts := cfg.Parts
-	if parts == nil {
+	if parts == nil && cfg.Ranges == nil {
 		parts = make([]int, fanout)
 		for p := range parts {
 			parts[p] = p
 		}
 	}
-	tasks := make([]task, 0, len(parts))
+	tasks := make([]task, 0, len(parts)+len(cfg.Ranges))
 	for _, p := range parts {
 		if pr.Size(p) == 0 || ps.Size(p) == 0 {
 			continue
 		}
 		tasks = append(tasks, task{part: p})
+	}
+	for _, pr2 := range cfg.Ranges {
+		if pr.Size(pr2.Part) == 0 || pr2.Hi <= pr2.Lo {
+			continue
+		}
+		tasks = append(tasks, task{part: pr2.Part, lo: pr2.Lo, hi: pr2.Hi})
 	}
 	var q taskQueue
 	if cfg.Sched == radix.SchedMutex {

@@ -108,6 +108,13 @@ func DefaultConfig() Config {
 			// the caller cancels — so every exported caller must accept
 			// and forward a context.
 			ssj + ".drainChunks",
+			// The join-phase worker pool behind the CPU hash joins and the
+			// split executor's CPU leg (including the fragment path, which
+			// fans an oversized probe range into sub-tasks on the same
+			// fetch-add queue): it blocks until its workers finish, so
+			// every exported caller must accept a ctx and forward it for
+			// the pool's cancellation checks to mean anything.
+			"skewjoin/internal/joinphase.Run",
 		},
 		CtxAllowlist: []string{
 			// The paper's scheduling shapes are deliberately ctx-free:
@@ -118,6 +125,11 @@ func DefaultConfig() Config {
 			exec + ".Queue.Drain",
 			exec + ".MutexQueue.Drain",
 			exec + ".Group.Go",
+			// The join-phase benchmark drives joinphase.Run directly to
+			// time it without option-plumbing overhead; benchmarks are
+			// batch CLI drivers that run to completion by design (^C is
+			// the cancellation story), so no ctx threads through them.
+			"skewjoin/internal/bench.JoinBench",
 		},
 		LockAcquirers: []string{
 			// The per-shard admission gate: Acquire blocks like a weighted

@@ -1,0 +1,23 @@
+package fixture
+
+import "sync"
+
+// fragMerge models the split executor's fragment-and-replicate merge: two
+// backend legs fill per-leg summaries that are merged after the join.
+// The CPU leg is correctly joined through the WaitGroup; the GPU leg is
+// fired with no join handle, so the merge can read its summary before the
+// leg wrote it — the leak the analyzer must flag.
+func fragMerge() (int, int) {
+	var cpuSum, gpuSum int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cpuSum = 1
+	}()
+	go func() {
+		gpuSum = 2
+	}()
+	wg.Wait()
+	return cpuSum, gpuSum
+}

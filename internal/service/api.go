@@ -106,6 +106,13 @@ type JoinRequest struct {
 	// TimeoutMS bounds queue wait plus execution (default: the server's
 	// configured timeout). Expiry cancels the join and frees its workers.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fragments bounds how many pieces a backend:"split" plan may cut the
+	// hottest partition into when its cost alone dominates the makespan
+	// (intra-partition fragment-and-replicate): 0 keeps the server default
+	// (8), 1 asks for the minimum split (2), negative disables
+	// fragmentation so such plans degenerate to a single backend instead.
+	// Ignored by non-split requests.
+	Fragments int `json:"fragments,omitempty"`
 	// Consumer selects the volcano upper operator consuming the output:
 	// "summary" (default; match count + checksum only), "count" (streamed
 	// row count through a volcano.Count sink), "topk" (heavy-hitter keys
@@ -201,12 +208,26 @@ type JoinPhaseInfo struct {
 // times (see the engine's SplitStats).
 type SplitInfo struct {
 	// Split is true when both backends ran; otherwise Degenerate names
-	// the single backend the plan fell back to.
-	Split      bool   `json:"split"`
-	Degenerate string `json:"degenerate,omitempty"`
+	// the single backend the plan fell back to and DegenerateReason says
+	// why the model declined to split ("hot-partition-dominates": one
+	// partition's cost alone exceeded the balanced-makespan bound and
+	// fragmentation was off or didn't pay; "min-win-threshold": the
+	// predicted win fell under the win floor; "policy-pinned": the request
+	// forced a single backend).
+	Split            bool   `json:"split"`
+	Degenerate       string `json:"degenerate,omitempty"`
+	DegenerateReason string `json:"degenerate_reason,omitempty"`
 	// CPUParts / GPUParts count the radix partitions placed on each side.
 	CPUParts int `json:"cpu_parts"`
 	GPUParts int `json:"gpu_parts"`
+	// Fragmented reports the plan split the hottest partition itself:
+	// its build side was replicated to both backends and its probe side
+	// cut into CPUFragments + GPUFragments cost-proportional sub-ranges
+	// (FragmentedPart is the partition's index).
+	Fragmented     bool `json:"fragmented,omitempty"`
+	FragmentedPart int  `json:"fragmented_part,omitempty"`
+	CPUFragments   int  `json:"cpu_fragments,omitempty"`
+	GPUFragments   int  `json:"gpu_fragments,omitempty"`
 	// CPUJoinMS is the CPU side's per-worker busy time; GPUJoinMS /
 	// GPUTransferMS the GPU side's modelled join and staging times.
 	CPUJoinMS     float64 `json:"cpu_join_ms"`
@@ -336,6 +357,12 @@ type SplitTotals struct {
 	SplitRuns     uint64 `json:"split_runs"`
 	DegenerateCPU uint64 `json:"degenerate_cpu"`
 	DegenerateGPU uint64 `json:"degenerate_gpu"`
+	// FragmentedRuns counts split runs whose plan fragmented the hottest
+	// partition across both backends; CPUFragments / GPUFragments are the
+	// cumulative per-backend probe sub-range counts those runs executed.
+	FragmentedRuns uint64 `json:"fragmented_runs,omitempty"`
+	CPUFragments   uint64 `json:"cpu_fragments,omitempty"`
+	GPUFragments   uint64 `json:"gpu_fragments,omitempty"`
 	// Cumulative per-backend join-side times (CPU busy / GPU modelled).
 	CPUJoinMS     float64 `json:"cpu_join_ms"`
 	GPUJoinMS     float64 `json:"gpu_join_ms"`

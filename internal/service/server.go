@@ -41,6 +41,11 @@ type Config struct {
 	// clients should leave it off (a path request reads server-local
 	// files).
 	AllowPathLoading bool
+	// Calibration pins the CPU cost-model constants for backend:"split"
+	// planning instead of micro-running a fit on the first split request.
+	// Embedders with pre-measured host constants (and tests that need a
+	// deterministic plan) set it; nil keeps the self-calibration.
+	Calibration *skewjoin.Calibration
 }
 
 func (c Config) defaults() Config {
@@ -373,6 +378,10 @@ func resolveDevice(name string) (skewjoin.DeviceConfig, error) {
 // once with a micro-run over the first split request's inputs.
 func (s *Server) calibration(r, sr skewjoin.Relation, threads int) *skewjoin.Calibration {
 	s.calOnce.Do(func() {
+		if s.cfg.Calibration != nil {
+			s.cal = *s.cfg.Calibration
+			return
+		}
 		s.cal = skewjoin.Calibrate(r, sr, threads)
 	})
 	return &s.cal
@@ -567,6 +576,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	if alg == skewjoin.Split {
 		opts.Calibration = s.calibration(rRel, sRel, weight)
+		opts.Fragments = req.Fragments
 	}
 	if sink != nil {
 		opts.Consumer = sink.factory
@@ -630,9 +640,16 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			info.Split = plan.Split
 			if !plan.Split {
 				info.Degenerate = string(plan.Degenerate)
+				info.DegenerateReason = plan.DegenerateReason
 			}
 			info.CPUParts = len(plan.CPUParts)
 			info.GPUParts = len(plan.GPUParts)
+			if plan.Fragmented() {
+				info.Fragmented = true
+				info.FragmentedPart = plan.FragmentedPart
+				info.CPUFragments = st.CPUFragments
+				info.GPUFragments = st.GPUFragments
+			}
 			info.PredictedMakespanMS = float64(plan.PredictedMakespanNs) / 1e6
 		}
 		resp.Split = info

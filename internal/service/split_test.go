@@ -60,6 +60,12 @@ func TestServiceSplitBackend(t *testing.T) {
 	if !resp.Split.Split && resp.Split.Degenerate == "" {
 		t.Errorf("degenerate plan must name its backend: %+v", resp.Split)
 	}
+	if !resp.Split.Split && resp.Split.DegenerateReason == "" {
+		t.Errorf("degenerate plan must carry a reason: %+v", resp.Split)
+	}
+	if resp.Split.Fragmented && (resp.Split.CPUFragments == 0 || resp.Split.GPUFragments == 0) {
+		t.Errorf("fragmented plan must span both backends: %+v", resp.Split)
+	}
 	if resp.Split.MakespanMS <= 0 || resp.Split.PredictedMakespanMS <= 0 {
 		t.Errorf("split timings missing: %+v", resp.Split)
 	}
@@ -79,6 +85,81 @@ func TestServiceSplitBackend(t *testing.T) {
 	}
 	if _, ok := st.Algorithms["split"]; !ok {
 		t.Error("/stats algorithms missing the split entry")
+	}
+}
+
+// TestServiceSplitFragmented drives the intra-partition
+// fragment-and-replicate path through the HTTP surface: at deep skew on
+// the coupled device with one worker thread, the hottest partition's
+// cost alone dominates the balanced bound, so the plan must fragment it
+// across both backends, the /join breakdown must expose the fragment
+// counts, and the /stats totals must record the fragmented run. A second
+// request with fragmentation disabled must not fragment, and if it
+// degenerates it must say why.
+func TestServiceSplitFragmented(t *testing.T) {
+	// Pin the calibration so the plan is a pure function of the inputs
+	// rather than of this host's micro-run timings.
+	cal := skewjoin.Calibration{BuildNsPerTuple: 10, ProbeNsPerUnit: 2.5}
+	srv := httptest.NewServer(New(Config{ThreadBudget: 1, Calibration: &cal}))
+	defer srv.Close()
+
+	spec := GenerateSpec{N: 20000, Zipf: 1.4, Seed: 42}
+	register(t, srv.URL, "r", spec)
+	spec.Stream = 1
+	register(t, srv.URL, "s", spec)
+
+	status, raw := doJSON(t, "POST", srv.URL+"/join", JoinRequest{
+		R: "r", S: "s", Backend: "split", Device: "coupled",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("split join: status %d: %s", status, raw)
+	}
+	var resp JoinResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Split == nil {
+		t.Fatal("response missing split info")
+	}
+	if !resp.Split.Fragmented {
+		t.Fatalf("deep-skew split should fragment the hot partition: %+v", resp.Split)
+	}
+	if resp.Split.CPUFragments == 0 || resp.Split.GPUFragments == 0 {
+		t.Errorf("fragments on one backend only: %+v", resp.Split)
+	}
+	if resp.Split.FragmentedPart < 0 {
+		t.Errorf("fragmented response missing the partition index: %+v", resp.Split)
+	}
+
+	status, raw = doJSON(t, "POST", srv.URL+"/join", JoinRequest{
+		R: "r", S: "s", Backend: "split", Device: "coupled", Fragments: -1,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("split join (fragments off): status %d: %s", status, raw)
+	}
+	var resp2 JoinResponse
+	if err := json.Unmarshal(raw, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Split == nil {
+		t.Fatal("response missing split info")
+	}
+	if resp2.Split.Fragmented {
+		t.Errorf("fragments=-1 still fragmented: %+v", resp2.Split)
+	}
+	if !resp2.Split.Split && resp2.Split.DegenerateReason == "" {
+		t.Errorf("degenerate plan must say why: %+v", resp2.Split)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.Split == nil {
+		t.Fatal("/stats missing split totals")
+	}
+	if st.Split.FragmentedRuns != 1 {
+		t.Errorf("fragmented runs = %d, want 1", st.Split.FragmentedRuns)
+	}
+	if st.Split.CPUFragments == 0 || st.Split.GPUFragments == 0 {
+		t.Errorf("fragment totals missing a backend: %+v", st.Split)
 	}
 }
 

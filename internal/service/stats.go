@@ -201,6 +201,11 @@ func (r *algRecorder) observeSplit(st *skewjoin.SplitStats) {
 		}
 		t.PredictedMakespanMS += float64(st.Plan.PredictedMakespanNs) / 1e6
 	}
+	if st.Fragmented() {
+		t.FragmentedRuns++
+		t.CPUFragments += uint64(st.CPUFragments)
+		t.GPUFragments += uint64(st.GPUFragments)
+	}
 	t.CPUJoinMS += float64(st.CPUJoinNs) / 1e6
 	t.GPUJoinMS += float64(st.GPUJoinNs) / 1e6
 	t.GPUTransferMS += float64(st.GPUTransferNs) / 1e6

@@ -231,8 +231,16 @@ type SplitPlan struct {
 	// Fanout is the radix fanout the partition indices refer to.
 	Fanout int
 	// CPUParts / GPUParts are the partition indices assigned to each
-	// backend, ascending. Every non-empty partition appears exactly once.
+	// backend, ascending. Every non-empty partition appears exactly once,
+	// except a fragmented partition (FragmentedPart), which appears in
+	// neither: its placement is the per-range Fragments list.
 	CPUParts, GPUParts []int
+	// Fragments lists the probe-side sub-ranges of a fragmented hot
+	// partition — its build side replicated to both backends, its probe
+	// side split cost-proportionally. Empty when no partition fragmented.
+	Fragments []SplitFragment
+	// FragmentedPart is the fragmented partition's index, -1 when none.
+	FragmentedPart int
 	// PredictedCPUNs is the predicted CPU-side join time (per-worker busy
 	// time); PredictedGPUNs the predicted modelled GPU-side time
 	// including H2D/D2H staging; PredictedMakespanNs their max — the
@@ -241,12 +249,46 @@ type SplitPlan struct {
 	// PredictedCPUOnlyNs / PredictedGPUOnlyNs are the single-backend
 	// controls the split was judged against.
 	PredictedCPUOnlyNs, PredictedGPUOnlyNs int64
+	// PredictedBalancedNs is the fractional balanced-makespan lower bound
+	// — the fragmentation trigger compares the hot partition against it.
+	PredictedBalancedNs int64
 	// Split reports whether both backends are used. When false the plan
-	// degenerated and Degenerate names the backend everything runs on.
-	Split      bool
-	Degenerate Backend
+	// degenerated, Degenerate names the backend everything runs on, and
+	// DegenerateReason classifies why ("hot-partition-dominates" when the
+	// hot partition alone blocks any winning split,
+	// "min-win-threshold" when the predicted win fell under the floor,
+	// "policy-pinned" when a control policy chose the backend).
+	Split            bool
+	Degenerate       Backend
+	DegenerateReason string
 	// Calibration holds the CPU cost constants the plan was built with.
 	Calibration Calibration
+}
+
+// SplitFragment is one probe-side sub-range of a fragmented partition,
+// placed on one backend against the partition's replicated build side.
+type SplitFragment struct {
+	Part    int     `json:"part"`
+	Lo      int     `json:"lo"` // probe range [Lo, Hi)
+	Hi      int     `json:"hi"`
+	Backend Backend `json:"backend"`
+}
+
+// Fragmented reports whether the plan splits one partition across both
+// backends.
+func (p *SplitPlan) Fragmented() bool { return len(p.Fragments) > 0 }
+
+// FragmentCounts returns how many probe-side fragments each backend
+// executes — the per-backend breakdown of a fragmented hot partition.
+func (p *SplitPlan) FragmentCounts() (cpu, gpu int) {
+	for _, f := range p.Fragments {
+		if f.Backend == BackendGPU {
+			gpu++
+		} else {
+			cpu++
+		}
+	}
+	return cpu, gpu
 }
 
 // Recommended returns the backend the plan advises: BackendSplit, or the
@@ -281,6 +323,15 @@ type SplitConfig struct {
 	// (defaults 25ms and 0.10).
 	MinWinNs    int64
 	WinFraction float64
+	// Fragments is the granularity the hot partition's probe side is cut
+	// into when it dominates the makespan (default 8, minimum 2);
+	// negative disables fragmentation, restoring whole-partition
+	// placement.
+	Fragments int
+	// FragmentFactor is the fragmentation trigger: the hot partition
+	// fragments only when its cheaper-backend solo time exceeds
+	// FragmentFactor times the balanced-makespan bound (default 1.2).
+	FragmentFactor float64
 }
 
 // RecommendSplit extends Recommend with the co-processing placement
@@ -308,6 +359,7 @@ func RecommendSplit(r, s Relation, cfg SplitConfig) Recommendation {
 	mcfg := costmodel.Config{
 		Device: cfg.Device, Calib: cal, Threads: threads,
 		MinWinNs: float64(cfg.MinWinNs), WinFraction: cfg.WinFraction,
+		Fragments: cfg.Fragments, FragmentFactor: cfg.FragmentFactor,
 	}
 	costs := costmodel.Costs(pr, ps, mcfg)
 	plan := costmodel.BuildPlan(costs, mcfg)
@@ -330,19 +382,29 @@ func publicSplitPlan(plan costmodel.Plan, fanout int, cal Calibration) *SplitPla
 		Fanout:              fanout,
 		CPUParts:            plan.CPUParts,
 		GPUParts:            plan.GPUParts,
+		FragmentedPart:      plan.FragPart,
 		PredictedCPUNs:      int64(plan.CPUNs),
 		PredictedGPUNs:      int64(plan.GPUNs),
 		PredictedMakespanNs: int64(plan.MakespanNs),
 		PredictedCPUOnlyNs:  int64(plan.CPUOnlyNs),
 		PredictedGPUOnlyNs:  int64(plan.GPUOnlyNs),
+		PredictedBalancedNs: int64(plan.BalancedNs),
 		Split:               plan.Split,
 		Calibration:         cal,
+	}
+	for _, f := range plan.Fragments {
+		b := BackendCPU
+		if f.Backend == costmodel.GPU {
+			b = BackendGPU
+		}
+		p.Fragments = append(p.Fragments, SplitFragment{Part: f.Part, Lo: f.Lo, Hi: f.Hi, Backend: b})
 	}
 	if !plan.Split {
 		p.Degenerate = BackendCPU
 		if plan.Degenerate == costmodel.GPU {
 			p.Degenerate = BackendGPU
 		}
+		p.DegenerateReason = plan.DegenerateReason
 	}
 	return p
 }

@@ -227,6 +227,21 @@ type Options struct {
 	// for the Split mode; nil calibrates with a micro-run per join (the
 	// service layer caches a calibration in its catalog instead).
 	Calibration *Calibration
+	// Fragments is the Split mode's fragmentation granularity: when the
+	// cost model finds the hot partition dominating the makespan, its
+	// probe side is cut into this many cost-proportional sub-ranges and
+	// split across both backends with the build side replicated (default
+	// 8, minimum 2; negative disables fragmentation so the radix
+	// partition stays the atomic placement unit).
+	Fragments int
+	// SplitMinWinNs / SplitWinFraction override the Split mode's
+	// degeneration thresholds: a split must be predicted to beat the
+	// better single backend by max(SplitMinWinNs,
+	// SplitWinFraction·better) or it degenerates (defaults 25ms / 0.10;
+	// zero keeps the default — the benchmarks lower the floor to exercise
+	// split paths at smoke-test sizes).
+	SplitMinWinNs    int64
+	SplitWinFraction float64
 }
 
 // JoinResult is one join output tuple as delivered to consumers.

@@ -101,7 +101,15 @@ type SplitStats struct {
 	// Imbalance is max(side)/min(side) over the two join-side times when
 	// both backends ran, 0 otherwise. 1.0 = perfectly balanced split.
 	Imbalance float64
+	// CPUFragments / GPUFragments are the per-backend probe-range counts
+	// of a fragmented hot partition (Plan.Fragments executed), 0/0 when
+	// the run did not fragment.
+	CPUFragments, GPUFragments int
 }
+
+// Fragmented reports whether the run split one partition's probe side
+// across both backends.
+func (st *SplitStats) Fragmented() bool { return st.CPUFragments+st.GPUFragments > 0 }
 
 // JoinSideNs returns the actual overlapped join-phase time:
 // max(CPUJoinNs, GPUJoinNs+GPUTransferNs). Compare against
@@ -162,7 +170,11 @@ func joinSplit(r, s Relation, opts *Options) (Result, error) {
 
 	// Shared prefix 2: cost every partition and place it.
 	cal := resolveCalibration(opts.Calibration, r, s, threads)
-	mcfg := costmodel.Config{Device: dcfg, Calib: cal, Threads: threads}
+	mcfg := costmodel.Config{
+		Device: dcfg, Calib: cal, Threads: threads,
+		MinWinNs: float64(opts.SplitMinWinNs), WinFraction: opts.SplitWinFraction,
+		Fragments: opts.Fragments,
+	}
 	var plan costmodel.Plan
 	timer.Time("plan", func() {
 		costs := costmodel.Costs(pr, ps, mcfg)
@@ -196,6 +208,14 @@ func joinSplit(r, s Relation, opts *Options) (Result, error) {
 		dev.SetFlush(func(sm int) outbuf.FlushFunc { return opts.Consumer(threads + sm) })
 	}
 
+	// A fragmented hot partition contributes probe ranges to both sides:
+	// contiguous same-backend fragments coalesce so the CPU side builds
+	// its replica of the hot build table exactly once (joinphase's
+	// oversized-split then fans the big range out into probe sub-tasks
+	// over the fetch-add queue) and the GPU side launches one
+	// probe-range-restricted set of sub-list blocks.
+	cpuRanges, gpuRanges := fragmentRanges(plan.Fragments)
+
 	// Run both sides concurrently and merge their streams.
 	var cpuStats joinphase.Stats
 	var cpuWall time.Duration
@@ -203,13 +223,13 @@ func joinSplit(r, s Relation, opts *Options) (Result, error) {
 	joinStart := time.Now()
 	g.Go(func() error {
 		defer func() { cpuWall = time.Since(joinStart) }()
-		if len(plan.CPUParts) == 0 {
+		if len(plan.CPUParts) == 0 && len(cpuRanges) == 0 {
 			return nil
 		}
 		cpuStats = joinphase.Run(pr, ps, joinphase.Config{
 			Threads: threads, SkewFactor: 4,
 			Sched: opts.Sched, Probe: opts.Probe, Layout: opts.Layout,
-			Ctx: ctx, Parts: plan.CPUParts,
+			Ctx: ctx, Parts: plan.CPUParts, Ranges: cpuRanges,
 		}, bufs)
 		for _, b := range bufs {
 			b.Flush()
@@ -221,10 +241,10 @@ func joinSplit(r, s Relation, opts *Options) (Result, error) {
 	})
 	g.Go(func() error {
 		defer dev.FlushOutputs()
-		if len(plan.GPUParts) == 0 {
+		if len(plan.GPUParts) == 0 && len(gpuRanges) == 0 {
 			return nil
 		}
-		return runSplitGPU(opts, dev, pr, ps, plan.GPUParts)
+		return runSplitGPU(opts, dev, pr, ps, plan.GPUParts, gpuRanges)
 	})
 	if err := g.Wait(); err != nil {
 		return Result{}, err
@@ -233,6 +253,7 @@ func joinSplit(r, s Relation, opts *Options) (Result, error) {
 	sum := mergeSplitSummaries(outbuf.Summarize(bufs), dev.OutputSummary())
 
 	st := &SplitStats{Plan: publicSplitPlan(plan, pr.Fanout(), cal)}
+	st.CPUFragments, st.GPUFragments = st.Plan.FragmentCounts()
 	if pd, ok := timer.Get("partition"); ok {
 		st.PartitionNs = pd.Nanoseconds()
 	}
@@ -273,23 +294,53 @@ func mergeSplitSummaries(cpu, gpu outbuf.Summary) outbuf.Summary {
 	}
 }
 
-// splitGPUTask is one thread block of the split GPU side: an R sub-list
-// of a partition joined against the partition's full S side.
-type splitGPUTask struct {
-	part   int
-	lo, hi int // R sub-list bounds within the partition
+// fragmentRanges splits a fragmented plan's fragment list into the CPU
+// side's probe ranges and the GPU side's, coalescing contiguous
+// same-backend fragments of the same partition into one range each. The
+// coalescing is what keeps build replication a one-time cost per backend:
+// the CPU side sees a single range task (built once, fanned out into
+// probe sub-tasks by the oversized-split), and the GPU side stages and
+// decomposes its replica once.
+func fragmentRanges(frags []costmodel.Fragment) (cpu, gpu []joinphase.ProbeRange) {
+	coalesce := func(rs []joinphase.ProbeRange, f costmodel.Fragment) []joinphase.ProbeRange {
+		if n := len(rs); n > 0 && rs[n-1].Part == f.Part && rs[n-1].Hi == f.Lo {
+			rs[n-1].Hi = f.Hi
+			return rs
+		}
+		return append(rs, joinphase.ProbeRange{Part: f.Part, Lo: f.Lo, Hi: f.Hi})
+	}
+	for _, f := range frags {
+		if f.Backend == costmodel.GPU {
+			gpu = coalesce(gpu, f)
+		} else {
+			cpu = coalesce(cpu, f)
+		}
+	}
+	return cpu, gpu
 }
 
-// runSplitGPU executes the GPU-assigned partitions on the simulated
-// device: one bulk H2D staging transfer of the assigned partitions, one
-// join launch with an R partition larger than shared memory decomposed
-// into sub-lists (each re-probing the full S partition, Gbase's skew
-// behaviour the cost model mirrors), and the D2H staging of the results.
-// With Options.HostParallelism > 0 the launch's blocks execute on a host
+// splitGPUTask is one thread block of the split GPU side: an R sub-list
+// of a partition joined against the partition's S side — all of it for a
+// whole-partition placement, or the fragment's probe range [sLo, sHi)
+// when the partition is fragmented across backends.
+type splitGPUTask struct {
+	part     int
+	lo, hi   int // R sub-list bounds within the partition
+	sLo, sHi int // S probe range when sHi > sLo; whole side otherwise
+}
+
+// runSplitGPU executes the GPU-assigned partitions, plus the GPU-side
+// probe ranges of a fragmented partition, on the simulated device: one
+// bulk H2D staging transfer of the assigned tuples, one join launch with
+// an R partition larger than shared memory decomposed into sub-lists
+// (each re-probing its full S share, Gbase's skew behaviour the cost
+// model mirrors), and the D2H staging of the results. A fragment's
+// blocks replicate the full R side but probe only S[sLo:sHi). With
+// Options.HostParallelism > 0 the launch's blocks execute on a host
 // worker pool, bit-identically to serial execution.
 //
 //skewlint:hotpath
-func runSplitGPU(opts *Options, dev *gpusim.Device, pr, ps *radix.Partitioned, parts []int) error {
+func runSplitGPU(opts *Options, dev *gpusim.Device, pr, ps *radix.Partitioned, parts []int, frags []joinphase.ProbeRange) error {
 	ctx := opts.Context
 	if err := ctxErr(ctx); err != nil {
 		return err
@@ -298,25 +349,40 @@ func runSplitGPU(opts *Options, dev *gpusim.Device, pr, ps *radix.Partitioned, p
 	for _, p := range parts {
 		bytes += (pr.Size(p) + ps.Size(p)) * relation.TupleSize
 	}
+	for _, f := range frags {
+		bytes += (pr.Size(f.Part) + (f.Hi - f.Lo)) * relation.TupleSize
+	}
 	dev.Transfer("transfer", "split-h2d", bytes)
 
 	capacity := dev.PartitionCapacityTuples()
 	if capacity < 1 {
 		capacity = 1
 	}
-	tasks := make([]splitGPUTask, 0, len(parts))
-	for _, p := range parts {
+	tasks := make([]splitGPUTask, 0, len(parts)+len(frags))
+	addTasks := func(p, sLo, sHi int) {
 		nR := pr.Size(p)
-		if nR == 0 || ps.Size(p) == 0 {
-			continue
+		if nR == 0 {
+			return
 		}
 		for lo := 0; lo < nR; lo += capacity {
 			hi := lo + capacity
 			if hi > nR {
 				hi = nR
 			}
-			tasks = append(tasks, splitGPUTask{part: p, lo: lo, hi: hi})
+			tasks = append(tasks, splitGPUTask{part: p, lo: lo, hi: hi, sLo: sLo, sHi: sHi})
 		}
+	}
+	for _, p := range parts {
+		if ps.Size(p) == 0 {
+			continue
+		}
+		addTasks(p, 0, 0)
+	}
+	for _, f := range frags {
+		if f.Hi <= f.Lo {
+			continue
+		}
+		addTasks(f.Part, f.Lo, f.Hi)
 	}
 	if err := ctxErr(ctx); err != nil {
 		return err
@@ -324,7 +390,11 @@ func runSplitGPU(opts *Options, dev *gpusim.Device, pr, ps *radix.Partitioned, p
 	if len(tasks) > 0 {
 		dev.Launch("join", "split-join", len(tasks), func(b *gpusim.Block) {
 			t := tasks[b.Idx]
-			gpupart.ProbeJoinBlock(b, pr.Part(t.part)[t.lo:t.hi], ps.Part(t.part))
+			sSide := ps.Part(t.part)
+			if t.sHi > t.sLo {
+				sSide = sSide[t.sLo:t.sHi]
+			}
+			gpupart.ProbeJoinBlock(b, pr.Part(t.part)[t.lo:t.hi], sSide)
 		})
 	}
 	// D2H: stage the produced results back to the host consumers.
